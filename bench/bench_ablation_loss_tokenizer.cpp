@@ -1,0 +1,55 @@
+// Ablation — the paper's two training-recipe choices (Section III-C):
+//   1. weighted cross-entropy (+20% on numeric tokens) vs unweighted,
+//   2. restricted BPE vs character-level tokenization (CLT).
+//
+// Trains small models under each setting on the same 5T dataset and compares
+// validation loss, sequence length, and training wall time.
+#include "common.hpp"
+
+int main() {
+  using namespace ota;
+  using namespace ota::benchsupport;
+
+  const auto& technology = tech();
+  auto topo = circuit::make_5t_ota(technology);
+  core::DataGenOptions gopt;
+  gopt.target_designs = 300;
+  gopt.max_attempts = 60000;
+  auto ds = core::generate_dataset(topo, technology,
+                                   core::SpecRange::for_topology("5T-OTA"), gopt);
+  const core::SequenceBuilder builder(topo, technology);
+  std::vector<std::pair<std::string, std::string>> pairs;
+  for (const auto& d : ds.designs) {
+    pairs.emplace_back(builder.encoder_text(d.specs), builder.decoder_text(d));
+  }
+
+  std::printf("=== Ablation: loss weighting and tokenization (5T-OTA, %zu designs) ===\n",
+              ds.designs.size());
+  std::printf("%-28s %-10s %-10s %-12s %-10s\n", "setting", "val loss",
+              "dec toks", "train time", "vocab");
+
+  auto run = [&](const std::string& label, double numeric_weight, int merges) {
+    core::SizingModel model;
+    core::TrainOptions topt;
+    topt.epochs = 6;
+    topt.d_model = 32;
+    topt.d_ff = 64;
+    topt.lr = 2e-3;
+    topt.numeric_weight = numeric_weight;
+    topt.bpe_merges = merges;
+    const auto hist = model.train(pairs, topt);
+    std::printf("%-28s %-10.4f %-10zu %-11.1fs %-10zu\n", label.c_str(),
+                hist.val_loss.back(),
+                model.tokenizer().encode(pairs[0].second).size(), hist.seconds,
+                model.tokenizer().vocab().size());
+  };
+
+  run("BPE + weighted CE (paper)", 1.2, 512);
+  run("BPE + unweighted CE", 1.0, 512);
+  run("CLT + weighted CE", 1.2, 0);  // zero merges = character level
+
+  std::printf("\n(paper: the 20%% numeric-token weight was the optimum of its\n"
+              " sweep, and BPE gave 3.77x shorter sequences than CLT, which is\n"
+              " the dominant training-cost lever — visible in the time column)\n");
+  return 0;
+}

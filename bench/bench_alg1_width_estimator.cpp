@@ -1,0 +1,97 @@
+// Algorithm 1 — width estimation from predicted parameters.
+//
+// Accuracy of the width round trip across bias and width, an ablation of the
+// Vds step factor alpha (the paper's empirically chosen 1e-4), and
+// micro-benchmarks of both the gm/Id form and the scan fallback.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "lut/width_estimator.hpp"
+
+namespace {
+
+using namespace ota;
+
+struct Fixture {
+  device::Technology tech = device::Technology::default65nm();
+  device::MosModel nmos{tech.nmos};
+  lut::DeviceLut lut{nmos};
+
+  lut::PredictedParams params(double vgs, double vds, double w) const {
+    const auto ss = nmos.evaluate(vgs, vds, w, 180e-9);
+    lut::PredictedParams p;
+    p.gm = ss.gm;
+    p.gds = ss.gds;
+    p.cds = ss.cds;
+    p.cgs = ss.cgs;
+    p.id = ss.id;
+    return p;
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+void BM_Algorithm1(benchmark::State& state) {
+  auto& f = fixture();
+  const auto p = f.params(0.55, 0.7, 8e-6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lut::estimate_width(f.lut, p, f.tech.vdd));
+  }
+}
+BENCHMARK(BM_Algorithm1);
+
+void BM_ScanFallback(benchmark::State& state) {
+  auto& f = fixture();
+  auto p = f.params(0.55, 0.7, 8e-6);
+  p.id.reset();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lut::estimate_width_scan(f.lut, p));
+  }
+}
+BENCHMARK(BM_ScanFallback);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ota;
+  auto& f = fixture();
+
+  std::printf("=== Algorithm 1: width estimation accuracy ===\n");
+  std::printf("%-8s %-8s %-12s %-12s %-10s %-6s\n", "Vgs", "W[um]", "West[um]",
+              "rel err", "Vds err", "iters");
+  double worst = 0.0;
+  for (double vgs : {0.40, 0.50, 0.65, 0.85}) {
+    for (double w : {0.7e-6, 5e-6, 50e-6}) {
+      const auto est = lut::estimate_width(f.lut, f.params(vgs, 0.73, w), f.tech.vdd);
+      const double err = est ? std::fabs(est->width - w) / w : 1.0;
+      worst = std::max(worst, err);
+      std::printf("%-8.2f %-8.2f %-12.3f %-11.2f%% %-10.3f %-6d\n", vgs, w * 1e6,
+                  est ? est->width * 1e6 : 0.0, err * 100,
+                  est ? std::fabs(est->vds - 0.73) : -1.0,
+                  est ? est->iterations : 0);
+    }
+  }
+  std::printf("worst relative width error: %.2f%%\n", worst * 100);
+
+  std::printf("\nAblation: Vds step factor alpha (paper: 1e-4)\n");
+  std::printf("%-10s %-12s %-10s\n", "alpha", "rel err", "iterations");
+  for (double alpha : {1e-2, 1e-3, 1e-4, 1e-5}) {
+    lut::WidthEstimatorOptions opt;
+    opt.alpha = alpha;
+    const auto est =
+        lut::estimate_width(f.lut, f.params(0.55, 0.9, 10e-6), f.tech.vdd, opt);
+    std::printf("%-10.0e %-11.3f%% %-10d\n", alpha,
+                est ? std::fabs(est->width - 10e-6) / 10e-6 * 100 : 100.0,
+                est ? est->iterations : 0);
+  }
+  std::printf("\n");
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

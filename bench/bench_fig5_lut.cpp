@@ -1,0 +1,94 @@
+// Fig. 5 / Section III-D.1 — precomputed LUT generation and accuracy.
+//
+// Reports LUT build cost (the "one-time characterization"), interpolation
+// accuracy versus the analytic device model at off-grid bias points, and an
+// ablation of the paper's cubic-spline choice against nearest-grid lookup.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "lut/device_lut.hpp"
+
+namespace {
+
+using namespace ota;
+
+void BM_LutBuild(benchmark::State& state) {
+  const auto tech = device::Technology::default65nm();
+  const device::MosModel nmos(tech.nmos);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lut::DeviceLut(nmos));
+  }
+}
+BENCHMARK(BM_LutBuild);
+
+void BM_LutLookup(benchmark::State& state) {
+  const auto tech = device::Technology::default65nm();
+  const lut::DeviceLut l{device::MosModel(tech.nmos)};
+  double v = 0.3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(l.lookup(v, 1.2 - v));
+    v = 0.3 + std::fmod(v * 1.61803, 0.8);
+  }
+}
+BENCHMARK(BM_LutLookup);
+
+void BM_GmIdInversion(benchmark::State& state) {
+  const auto tech = device::Technology::default65nm();
+  const lut::DeviceLut l{device::MosModel(tech.nmos)};
+  double g = 5.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(l.find_vgs_for_gmid(g, 0.6));
+    g = 5.0 + std::fmod(g * 1.61803, 20.0);
+  }
+}
+BENCHMARK(BM_GmIdInversion);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ota;
+  const auto tech = device::Technology::default65nm();
+  const device::MosModel nmos(tech.nmos);
+  const lut::DeviceLut l{nmos};
+
+  std::printf("=== Fig. 5: LUT generation & accuracy ===\n");
+  std::printf("grid: %zu x %zu (0..1.2V, 60mV step), Wref=700nm, L=180nm\n",
+              l.vgs_axis().size(), l.vds_axis().size());
+
+  // Accuracy of spline interpolation vs direct model, and vs nearest-grid.
+  double worst_spline = 0.0, worst_nearest = 0.0;
+  const double step = l.options().v_step;
+  for (double vgs = 0.35; vgs <= 1.15; vgs += 0.0137) {
+    for (double vds = 0.2; vds <= 1.15; vds += 0.0119) {
+      const auto ref = nmos.evaluate(vgs, vds, l.options().wref, l.options().l);
+      const double ref_gm = ref.gm / l.options().wref;
+      if (ref_gm < 1e-3) continue;
+      const double spline = l.lookup(vgs, vds).gm;
+      const size_t gi = static_cast<size_t>(std::round(vgs / step));
+      const size_t gj = static_cast<size_t>(std::round(vds / step));
+      const double nearest = l.grid_entry(gi, gj).gm;
+      worst_spline = std::max(worst_spline, std::fabs(spline - ref_gm) / ref_gm);
+      worst_nearest = std::max(worst_nearest, std::fabs(nearest - ref_gm) / ref_gm);
+    }
+  }
+  std::printf("%-34s %10s\n", "interpolation", "max rel err (gm)");
+  std::printf("%-34s %9.3f%%\n", "cubic spline (paper's choice)", worst_spline * 100);
+  std::printf("%-34s %9.3f%%\n", "nearest grid point (ablation)", worst_nearest * 100);
+
+  std::printf("\nSample LUT rows (per-um width):\n");
+  std::printf("%-8s %-8s %-12s %-12s %-12s %-12s %-12s\n", "Vgs", "Vds", "Id[A/um]",
+              "gm[S/um]", "gds[S/um]", "Cds[F/um]", "Cgs[F/um]");
+  for (double vgs : {0.36, 0.48, 0.60, 0.84}) {
+    const auto e = l.lookup(vgs, 0.6);
+    std::printf("%-8.2f %-8.2f %-12.3e %-12.3e %-12.3e %-12.3e %-12.3e\n", vgs,
+                0.6, e.id * 1e-6, e.gm * 1e-6, e.gds * 1e-6, e.cds * 1e-6,
+                e.cgs * 1e-6);
+  }
+  std::printf("\n");
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Fig. 7 — scatter of predicted vs simulation-measured gm and gds (5T-OTA).
+//
+// Prints the paired series (the paper's scatter plots) in columns plus the
+// 45-degree-line statistics: correlation, slope, and mean absolute error.
+#include <cmath>
+
+#include "common.hpp"
+#include "linalg/stats.hpp"
+
+int main() {
+  using namespace ota;
+  using namespace ota::benchsupport;
+  auto& ctx = context("5T-OTA");
+  const int n = std::min(30, Scale::from_env().eval_designs);
+
+  std::printf("=== Fig. 7: predicted vs simulated scatter (5T-OTA) ===\n");
+  for (const std::string param : {"gm", "gds"}) {
+    for (const std::string device : {"M1", "M3", "M5"}) {
+      const auto s = core::scatter_series(*ctx.builder, ctx.model, ctx.val,
+                                          device, param, n);
+      if (s.measured.size() < 3) {
+        std::printf("%s of %s: insufficient predictions\n", param.c_str(),
+                    device.c_str());
+        continue;
+      }
+      const double r = linalg::pearson(s.measured, s.predicted);
+      // Least-squares slope through the origin: 1.0 means the 45-degree line.
+      double num = 0.0, den = 0.0, mae = 0.0;
+      for (size_t i = 0; i < s.measured.size(); ++i) {
+        num += s.measured[i] * s.predicted[i];
+        den += s.measured[i] * s.measured[i];
+        mae += std::fabs(s.predicted[i] - s.measured[i]) /
+               std::max(s.measured[i], 1e-18);
+      }
+      std::printf("%-4s of %-3s: n=%-3zu r=%-7.3f slope=%-7.3f mean|rel err|=%5.1f%%\n",
+                  param.c_str(), device.c_str(), s.measured.size(), r,
+                  num / den, 100.0 * mae / s.measured.size());
+    }
+  }
+
+  // A few raw pairs of the gm-of-M3 series (the DP device of Fig. 7a).
+  const auto s = core::scatter_series(*ctx.builder, ctx.model, ctx.val, "M3",
+                                      "gm", 10);
+  std::printf("\nsample pairs, gm of M3 (desired -> predicted) [mS]:\n");
+  for (size_t i = 0; i < s.measured.size(); ++i) {
+    std::printf("  %.3f -> %.3f\n", s.measured[i] * 1e3, s.predicted[i] * 1e3);
+  }
+  return 0;
+}

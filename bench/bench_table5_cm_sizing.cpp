@@ -1,0 +1,17 @@
+// Table V — target vs optimized specifications, CM-OTA.
+#include "common.hpp"
+
+int main() {
+  using namespace ota;
+  using namespace ota::benchsupport;
+  auto& ctx = context("CM-OTA");
+  core::SizingCopilot copilot(ctx.topology, tech(), *ctx.builder, ctx.model,
+                              luts());
+  const auto targets = core::targets_from_designs(ctx.val, 3, 0.05, 1501);
+  std::vector<core::SizingOutcome> rows;
+  for (const auto& t : targets) rows.push_back(copilot.size(t));
+  print_sizing_table("=== Table V: CM-OTA target vs optimized ===", rows);
+  std::printf("\n(paper Table V: gains 20.83->21.99, 21.55->23.25, 23.8->24.3 dB;\n"
+              " optimized exceeds target on every spec)\n");
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Table VIII — runtime analysis of training and inference.
+//
+// Per topology: one-time training duration, single-iteration vs
+// multi-iteration success over unseen targets, average wall time, and the
+// average number of verification simulations (the paper's headline: >90% of
+// designs sized with one simulation).
+#include "common.hpp"
+
+int main() {
+  using namespace ota;
+  using namespace ota::benchsupport;
+  const Scale sc = Scale::from_env();
+
+  std::printf("=== Table VIII: runtime analysis (scale '%s') ===\n",
+              sc.name.c_str());
+  std::printf("%-8s %-10s | %-14s %-9s | %-14s %-9s %-7s | %-8s %-6s\n",
+              "Topology", "training", "1-iter solved", "avg time",
+              "multi solved", "avg time", "iters", "avg sims", "fail");
+
+  for (const char* name : {"5T-OTA", "CM-OTA", "2S-OTA"}) {
+    auto& ctx = context(name);
+    core::SizingCopilot copilot(ctx.topology, tech(), *ctx.builder, ctx.model,
+                                luts());
+    const auto targets =
+        core::targets_from_designs(ctx.val, sc.sizing_targets, 0.05, 1801);
+    const core::RuntimeStats st = core::runtime_stats(copilot, targets);
+    std::printf("%-8s %9.1fs | %6d/%-7d %8.2fs | %7d/%-6d %8.2fs %-7.1f | %-8.2f %-6d\n",
+                name, ctx.training_seconds, st.single_iteration, st.total,
+                st.avg_single_seconds, st.multi_iteration, st.total,
+                st.avg_multi_seconds, st.avg_multi_iterations,
+                st.avg_sims_per_design, st.failures);
+  }
+  std::printf("\n(paper Table VIII: 8.5h/22h/11h training on an L40S GPU;\n"
+              " 95/98/90 of 100 designs in one iteration at 36-46s each,\n"
+              " remainder in 3-5 iterations; our absolute times reflect the\n"
+              " CPU-scale model and minispice substitution)\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Table IX — comparison with prior sizing approaches.
+//
+// Sizes the 5T-OTA for the same unseen targets with simulated annealing,
+// PSO, differential evolution, GP-EI Bayesian optimization (WEIBO-like), and
+// the transformer+LUT flow, reporting the metric the paper's qualitative
+// table is built on: in-loop SPICE dependency, accuracy, and runtime.
+#include "baselines/baselines.hpp"
+#include "common.hpp"
+
+int main() {
+  using namespace ota;
+  using namespace ota::benchsupport;
+  const Scale sc = Scale::from_env();
+  auto& ctx = context("5T-OTA");
+
+  const int n_targets = std::min(8, sc.sizing_targets);
+  const auto targets = core::targets_from_designs(ctx.val, n_targets, 0.05, 1901);
+
+  struct Row {
+    std::string method;
+    int solved = 0;
+    double sims = 0.0;
+    double seconds = 0.0;
+  };
+  std::vector<Row> rows;
+
+  auto run = [&](const std::string& name, auto&& solve) {
+    Row row;
+    row.method = name;
+    for (const auto& t : targets) {
+      baselines::SizingProblem problem(circuit::make_5t_ota(tech()), tech(), t);
+      const baselines::OptResult r = solve(problem);
+      row.solved += r.success ? 1 : 0;
+      row.sims += r.simulations;
+      row.seconds += r.seconds;
+    }
+    row.sims /= targets.size();
+    row.seconds /= targets.size();
+    rows.push_back(row);
+  };
+
+  run("SA [4]", [](baselines::SizingProblem& p) {
+    baselines::SaOptions o;
+    o.max_simulations = 1500;
+    return baselines::simulated_annealing(p, o);
+  });
+  run("PSO [5]", [](baselines::SizingProblem& p) {
+    baselines::PsoOptions o;
+    o.max_simulations = 1500;
+    return baselines::particle_swarm(p, o);
+  });
+  run("DE [22]", [](baselines::SizingProblem& p) {
+    baselines::DeOptions o;
+    o.max_simulations = 1500;
+    return baselines::differential_evolution(p, o);
+  });
+  run("WEIBO-like BO [21]", [](baselines::SizingProblem& p) {
+    baselines::BoOptions o;
+    o.max_simulations = 100;
+    return baselines::bayesian_optimization(p, o);
+  });
+
+  // Ours: transformer + LUT copilot.
+  {
+    Row row;
+    row.method = "Transformer+LUT (ours)";
+    core::SizingCopilot copilot(ctx.topology, tech(), *ctx.builder, ctx.model,
+                                luts());
+    for (const auto& t : targets) {
+      const core::SizingOutcome o = copilot.size(t);
+      row.solved += o.success ? 1 : 0;
+      row.sims += o.spice_simulations;
+      row.seconds += o.seconds;
+    }
+    row.sims /= targets.size();
+    row.seconds /= targets.size();
+    rows.push_back(row);
+  }
+
+  std::printf("=== Table IX: comparison with prior approaches (5T-OTA, %d targets) ===\n",
+              n_targets);
+  std::printf("%-24s %-10s %-16s %-12s\n", "Method", "solved",
+              "avg SPICE sims", "avg runtime");
+  for (const auto& r : rows) {
+    std::printf("%-24s %4d/%-5d %-16.1f %9.2fs\n", r.method.c_str(), r.solved,
+                n_targets, r.sims, r.seconds);
+  }
+  std::printf("\n(paper Table IX is qualitative: SA/PSO/DE 'very high' SPICE\n"
+              " dependency, BO 'high', ours 'very low' — the simulation counts\n"
+              " above regenerate that ordering quantitatively; GCN-RL [11] is\n"
+              " cited qualitatively in the paper and not reimplemented here)\n");
+  return 0;
+}

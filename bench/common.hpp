@@ -1,0 +1,178 @@
+// Shared infrastructure for the experiment benchmarks.
+//
+// Every bench binary regenerates its datasets deterministically (seconds) and
+// shares one trained transformer per topology through an on-disk cache
+// (OTA_CACHE_DIR, default ./ota_bench_cache), so running the whole bench
+// directory trains each model exactly once.
+//
+// Scale control: OTA_SCALE=tiny|small|paper (default small).
+//   tiny  — smoke-test scale, minutes for everything, weak accuracy
+//   small — CPU-scale defaults used for the committed EXPERIMENTS.md numbers
+//   paper — the paper's dataset/model scale (GPU-sized; hours on CPU)
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/copilot.hpp"
+#include "core/metrics.hpp"
+#include "core/nearest_predictor.hpp"
+#include "core/sizing_model.hpp"
+
+namespace ota::benchsupport {
+
+struct Scale {
+  std::string name;
+  int designs = 900;        ///< dataset size per topology
+  int epochs = 14;
+  int64_t d_model = 64;
+  int64_t n_heads = 4;
+  int64_t n_layers = 2;
+  int64_t d_ff = 128;
+  double lr = 2e-3;
+  int eval_designs = 50;    ///< validation predictions per correlation table
+  int sizing_targets = 20;  ///< Table VIII targets per topology
+
+  static Scale from_env() {
+    const char* env = std::getenv("OTA_SCALE");
+    const std::string s = env ? env : "small";
+    Scale sc;
+    sc.name = s;
+    if (s == "tiny") {
+      sc.designs = 250;
+      sc.epochs = 6;
+      sc.d_model = 32;
+      sc.d_ff = 64;
+      sc.eval_designs = 20;
+      sc.sizing_targets = 8;
+    } else if (s == "paper") {
+      sc.designs = 17000;
+      sc.epochs = 40;
+      sc.d_model = 720;
+      sc.n_heads = 12;
+      sc.n_layers = 6;
+      sc.d_ff = 2048;
+      sc.lr = 1e-4;
+      sc.eval_designs = 100;
+      sc.sizing_targets = 100;
+    }
+    return sc;
+  }
+};
+
+inline const device::Technology& tech() {
+  static const device::Technology t = device::Technology::default65nm();
+  return t;
+}
+
+inline const core::LutSet& luts() {
+  static const core::LutSet l = core::LutSet::build(tech());
+  return l;
+}
+
+inline std::string cache_dir() {
+  const char* env = std::getenv("OTA_CACHE_DIR");
+  std::string dir = env ? env : "ota_bench_cache";
+  std::system(("mkdir -p '" + dir + "'").c_str());
+  return dir;
+}
+
+/// Everything the experiment tables need for one topology.
+struct TopologyContext {
+  circuit::Topology topology;
+  core::Dataset dataset;
+  std::vector<core::Design> train;
+  std::vector<core::Design> val;
+  std::unique_ptr<core::SequenceBuilder> builder;
+  core::SizingModel model;
+  double training_seconds = 0.0;  ///< fresh run or cached metadata
+
+  TopologyContext(const std::string& name, const Scale& sc)
+      : topology(circuit::make_topology(name, tech())) {
+    core::DataGenOptions gopt;
+    gopt.target_designs = sc.designs;
+    gopt.max_attempts = sc.designs * 200;
+    gopt.seed = 2024;
+    dataset = core::generate_dataset(topology, tech(),
+                                     core::SpecRange::for_topology(name), gopt);
+    auto split = core::train_val_split(dataset.designs, 0.2, 42);
+    train = std::move(split.first);
+    val = std::move(split.second);
+    builder = std::make_unique<core::SequenceBuilder>(topology, tech());
+
+    const std::string prefix = cache_dir() + "/" + name + "-" + sc.name;
+    if (model.load(prefix)) {
+      std::ifstream meta(prefix + ".meta");
+      if (meta) meta >> training_seconds;
+      std::fprintf(stderr, "[bench] loaded cached model %s (trained in %.0fs)\n",
+                   prefix.c_str(), training_seconds);
+      return;
+    }
+    std::fprintf(stderr, "[bench] training %s model at scale '%s' (%zu designs)...\n",
+                 name.c_str(), sc.name.c_str(), train.size());
+    std::vector<std::pair<std::string, std::string>> pairs;
+    for (const auto& d : train) {
+      pairs.emplace_back(builder->encoder_text(d.specs), builder->decoder_text(d));
+    }
+    core::TrainOptions topt;
+    topt.epochs = sc.epochs;
+    topt.d_model = sc.d_model;
+    topt.n_heads = sc.n_heads;
+    topt.n_layers = sc.n_layers;
+    topt.d_ff = sc.d_ff;
+    topt.lr = sc.lr;
+    topt.verbose = true;
+    const core::TrainHistory hist = model.train(pairs, topt);
+    training_seconds = hist.seconds;
+    model.save(prefix);
+    std::ofstream meta(prefix + ".meta");
+    meta << training_seconds << "\n";
+  }
+};
+
+/// Process-wide context cache.
+inline TopologyContext& context(const std::string& name) {
+  static std::map<std::string, std::unique_ptr<TopologyContext>> cache;
+  auto it = cache.find(name);
+  if (it == cache.end()) {
+    it = cache.emplace(name, std::make_unique<TopologyContext>(
+                                  name, Scale::from_env())).first;
+  }
+  return *it->second;
+}
+
+/// Prints the per-device correlation rows in the paper's Table II/IV/VI form.
+inline void print_correlation_table(const std::string& title,
+                                    const std::vector<core::CorrelationRow>& rows) {
+  std::printf("\n%s\n", title.c_str());
+  std::printf("%-8s %-22s %8s %8s %8s %8s %8s\n", "Devices", "Role", "gm",
+              "gds", "Cds", "Cgs", "samples");
+  for (const auto& r : rows) {
+    std::printf("%-8s %-22s %8.3f %8.3f %8.3f %8.3f %8d\n", r.devices.c_str(),
+                r.role.c_str(), r.r_gm, r.r_gds, r.r_cds, r.r_cgs, r.samples);
+  }
+}
+
+/// Prints a target-vs-optimized table in the paper's Table III/V/VII form.
+inline void print_sizing_table(const std::string& title,
+                               const std::vector<core::SizingOutcome>& rows,
+                               double bw_unit = 1e6,
+                               const char* bw_label = "MHz") {
+  std::printf("\n%s\n", title.c_str());
+  std::printf("%-22s %-22s %-24s %s\n", "Gain(dB) tgt->opt",
+              (std::string("UGF(MHz) tgt->opt")).c_str(),
+              (std::string("BW(") + bw_label + ") tgt->opt").c_str(), "sims");
+  for (const auto& o : rows) {
+    std::printf("%8.2f -> %-10.2f %8.2f -> %-10.2f %9.3f -> %-11.3f %d%s\n",
+                o.target.gain_db, o.achieved.gain_db, o.target.ugf_hz / 1e6,
+                o.achieved.ugf_hz / 1e6, o.target.bw_hz / bw_unit,
+                o.achieved.bw_hz / bw_unit, o.spice_simulations,
+                o.success ? "" : "  (miss)");
+  }
+}
+
+}  // namespace ota::benchsupport

@@ -1,0 +1,56 @@
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "baselines/baselines.hpp"
+
+namespace ota::baselines {
+
+OptResult simulated_annealing(SizingProblem& problem, const SaOptions& opt) {
+  const auto t0 = std::chrono::steady_clock::now();
+  Rng rng(opt.seed);
+  const size_t d = problem.dims();
+  const int start_sims = problem.simulations();
+
+  std::vector<double> x(d);
+  for (auto& v : x) v = rng.uniform();
+  double cost = problem.evaluate(x);
+
+  OptResult res;
+  res.best_x = x;
+  res.best_cost = cost;
+
+  // Geometric cooling sized to the simulation budget.
+  const int budget = opt.max_simulations - 1;
+  const double alpha =
+      budget > 1 ? std::pow(opt.t_final / opt.t_initial, 1.0 / budget) : 1.0;
+  double temperature = opt.t_initial;
+
+  while (problem.simulations() - start_sims < opt.max_simulations &&
+         !SizingProblem::met(res.best_cost)) {
+    ++res.iterations;
+    std::vector<double> cand = x;
+    for (auto& v : cand) {
+      v = std::clamp(v + rng.normal(0.0, opt.step * temperature + 0.02), 0.0, 1.0);
+    }
+    const double c = problem.evaluate(cand);
+    const double delta = c - cost;
+    if (delta <= 0.0 || rng.uniform() < std::exp(-delta / std::max(temperature, 1e-12))) {
+      x = cand;
+      cost = c;
+    }
+    if (c < res.best_cost) {
+      res.best_cost = c;
+      res.best_x = cand;
+    }
+    temperature *= alpha;
+  }
+
+  res.success = SizingProblem::met(res.best_cost);
+  res.simulations = problem.simulations() - start_sims;
+  res.seconds = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0).count();
+  return res;
+}
+
+}  // namespace ota::baselines

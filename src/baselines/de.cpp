@@ -1,0 +1,65 @@
+#include <algorithm>
+#include <chrono>
+
+#include "baselines/baselines.hpp"
+
+namespace ota::baselines {
+
+OptResult differential_evolution(SizingProblem& problem, const DeOptions& opt) {
+  const auto t0 = std::chrono::steady_clock::now();
+  Rng rng(opt.seed);
+  const size_t d = problem.dims();
+  const size_t np = static_cast<size_t>(std::max(opt.population, 4));
+  const int start_sims = problem.simulations();
+
+  std::vector<std::vector<double>> pop(np, std::vector<double>(d));
+  std::vector<double> cost(np);
+  OptResult res;
+  for (size_t i = 0; i < np; ++i) {
+    for (auto& v : pop[i]) v = rng.uniform();
+    cost[i] = problem.evaluate(pop[i]);
+    if (cost[i] < res.best_cost) {
+      res.best_cost = cost[i];
+      res.best_x = pop[i];
+    }
+  }
+
+  // Classic DE/rand/1/bin.
+  while (problem.simulations() - start_sims < opt.max_simulations &&
+         !SizingProblem::met(res.best_cost)) {
+    ++res.iterations;
+    for (size_t i = 0; i < np; ++i) {
+      if (problem.simulations() - start_sims >= opt.max_simulations) break;
+      size_t a, b, c;
+      do { a = static_cast<size_t>(rng.uniform_int(0, static_cast<int64_t>(np) - 1)); } while (a == i);
+      do { b = static_cast<size_t>(rng.uniform_int(0, static_cast<int64_t>(np) - 1)); } while (b == i || b == a);
+      do { c = static_cast<size_t>(rng.uniform_int(0, static_cast<int64_t>(np) - 1)); } while (c == i || c == a || c == b);
+
+      std::vector<double> trial = pop[i];
+      const size_t forced = static_cast<size_t>(rng.uniform_int(0, static_cast<int64_t>(d) - 1));
+      for (size_t j = 0; j < d; ++j) {
+        if (j == forced || rng.uniform() < opt.cr) {
+          trial[j] = std::clamp(pop[a][j] + opt.f * (pop[b][j] - pop[c][j]), 0.0, 1.0);
+        }
+      }
+      const double tc = problem.evaluate(trial);
+      if (tc <= cost[i]) {
+        pop[i] = trial;
+        cost[i] = tc;
+        if (tc < res.best_cost) {
+          res.best_cost = tc;
+          res.best_x = trial;
+          if (SizingProblem::met(tc)) break;
+        }
+      }
+    }
+  }
+
+  res.success = SizingProblem::met(res.best_cost);
+  res.simulations = problem.simulations() - start_sims;
+  res.seconds = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0).count();
+  return res;
+}
+
+}  // namespace ota::baselines

@@ -1,0 +1,51 @@
+#include "baselines/problem.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ota::baselines {
+
+SizingProblem::SizingProblem(circuit::Topology topology,
+                             const device::Technology& tech, core::Specs target,
+                             double w_min, double w_max)
+    : topo_(std::move(topology)), tech_(tech), target_(target),
+      w_min_(w_min), w_max_(w_max) {}
+
+std::vector<double> SizingProblem::to_widths(const std::vector<double>& x) const {
+  if (x.size() != dims()) throw InvalidArgument("SizingProblem: dim mismatch");
+  std::vector<double> w(x.size());
+  const double lmin = std::log(w_min_), lmax = std::log(w_max_);
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double t = std::clamp(x[i], 0.0, 1.0);
+    w[i] = std::exp(lmin + t * (lmax - lmin));
+  }
+  return w;
+}
+
+double SizingProblem::evaluate(const std::vector<double>& x) {
+  ++simulations_;
+  spice::EvalResult r;
+  try {
+    r = spice::evaluate(topo_, tech_, to_widths(x));
+  } catch (const ConvergenceError&) {
+    return 10.0;  // non-simulatable point: large constant penalty
+  }
+  // Summed relative shortfalls; specs are minimum requirements.
+  double cost = 0.0;
+  cost += std::max(0.0, (target_.gain_db - r.metrics.gain_db) /
+                            std::max(target_.gain_db, 1.0));
+  cost += std::max(0.0, (target_.bw_hz - r.metrics.bw_3db_hz) / target_.bw_hz);
+  cost += std::max(0.0, (target_.ugf_hz - r.metrics.ugf_hz) / target_.ugf_hz);
+  if (!r.saturation_ok) cost += 0.5;  // bias away from railed designs
+  return cost;
+}
+
+core::Specs SizingProblem::measure(const std::vector<double>& x) {
+  ++simulations_;
+  const spice::EvalResult r = spice::evaluate(topo_, tech_, to_widths(x));
+  return core::Specs{r.metrics.gain_db, r.metrics.bw_3db_hz, r.metrics.ugf_hz};
+}
+
+}  // namespace ota::baselines

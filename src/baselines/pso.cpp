@@ -1,0 +1,69 @@
+#include <algorithm>
+#include <chrono>
+
+#include "baselines/baselines.hpp"
+
+namespace ota::baselines {
+
+OptResult particle_swarm(SizingProblem& problem, const PsoOptions& opt) {
+  const auto t0 = std::chrono::steady_clock::now();
+  Rng rng(opt.seed);
+  const size_t d = problem.dims();
+  const int start_sims = problem.simulations();
+
+  struct Particle {
+    std::vector<double> x, v, best_x;
+    double best_cost = 1e300;
+  };
+  std::vector<Particle> swarm(static_cast<size_t>(opt.swarm_size));
+
+  OptResult res;
+  for (auto& p : swarm) {
+    p.x.resize(d);
+    p.v.resize(d);
+    for (size_t i = 0; i < d; ++i) {
+      p.x[i] = rng.uniform();
+      p.v[i] = rng.uniform(-0.1, 0.1);
+    }
+    const double c = problem.evaluate(p.x);
+    p.best_x = p.x;
+    p.best_cost = c;
+    if (c < res.best_cost) {
+      res.best_cost = c;
+      res.best_x = p.x;
+    }
+  }
+
+  while (problem.simulations() - start_sims < opt.max_simulations &&
+         !SizingProblem::met(res.best_cost)) {
+    ++res.iterations;
+    for (auto& p : swarm) {
+      if (problem.simulations() - start_sims >= opt.max_simulations) break;
+      for (size_t i = 0; i < d; ++i) {
+        p.v[i] = opt.inertia * p.v[i] +
+                 opt.c_personal * rng.uniform() * (p.best_x[i] - p.x[i]) +
+                 opt.c_global * rng.uniform() * (res.best_x[i] - p.x[i]);
+        p.v[i] = std::clamp(p.v[i], -0.3, 0.3);
+        p.x[i] = std::clamp(p.x[i] + p.v[i], 0.0, 1.0);
+      }
+      const double c = problem.evaluate(p.x);
+      if (c < p.best_cost) {
+        p.best_cost = c;
+        p.best_x = p.x;
+      }
+      if (c < res.best_cost) {
+        res.best_cost = c;
+        res.best_x = p.x;
+        if (SizingProblem::met(c)) break;
+      }
+    }
+  }
+
+  res.success = SizingProblem::met(res.best_cost);
+  res.simulations = problem.simulations() - start_sims;
+  res.seconds = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0).count();
+  return res;
+}
+
+}  // namespace ota::baselines

@@ -1,0 +1,115 @@
+#include "circuit/netlist.hpp"
+
+#include <algorithm>
+
+namespace ota::circuit {
+
+NodeId Netlist::node(const std::string& name) {
+  if (name == "0" || name == "gnd" || name == "GND") return kGround;
+  auto it = node_ids_.find(name);
+  if (it != node_ids_.end()) return it->second;
+  const NodeId id = static_cast<NodeId>(node_names_.size());
+  node_ids_.emplace(name, id);
+  node_names_.push_back(name);
+  return id;
+}
+
+NodeId Netlist::find_node(const std::string& name) const {
+  if (name == "0" || name == "gnd" || name == "GND") return kGround;
+  auto it = node_ids_.find(name);
+  if (it == node_ids_.end()) {
+    throw InvalidArgument("Netlist: unknown node '" + name + "'");
+  }
+  return it->second;
+}
+
+const std::string& Netlist::node_name(NodeId id) const {
+  if (id < 0 || id >= node_count()) {
+    throw InvalidArgument("Netlist: node id out of range");
+  }
+  return node_names_[static_cast<size_t>(id)];
+}
+
+void Netlist::check_fresh_name(const std::string& name) const {
+  if (has_component(name)) {
+    throw InvalidArgument("Netlist: duplicate component name '" + name + "'");
+  }
+}
+
+bool Netlist::has_component(const std::string& name) const {
+  auto by_name = [&name](const auto& c) { return c.name == name; };
+  return std::any_of(mosfets_.begin(), mosfets_.end(), by_name) ||
+         std::any_of(resistors_.begin(), resistors_.end(), by_name) ||
+         std::any_of(capacitors_.begin(), capacitors_.end(), by_name) ||
+         std::any_of(vsources_.begin(), vsources_.end(), by_name) ||
+         std::any_of(isources_.begin(), isources_.end(), by_name);
+}
+
+void Netlist::add_mosfet(const std::string& name, device::MosType type,
+                         const std::string& d, const std::string& g,
+                         const std::string& s, double w, double l) {
+  check_fresh_name(name);
+  if (w <= 0 || l <= 0) throw InvalidArgument("Netlist: MOSFET W/L must be positive");
+  mosfets_.push_back(Mosfet{name, type, node(d), node(g), node(s), w, l});
+}
+
+void Netlist::add_resistor(const std::string& name, const std::string& a,
+                           const std::string& b, double r) {
+  check_fresh_name(name);
+  if (r <= 0) throw InvalidArgument("Netlist: resistance must be positive");
+  resistors_.push_back(Resistor{name, node(a), node(b), r});
+}
+
+void Netlist::add_capacitor(const std::string& name, const std::string& a,
+                            const std::string& b, double c) {
+  check_fresh_name(name);
+  if (c <= 0) throw InvalidArgument("Netlist: capacitance must be positive");
+  capacitors_.push_back(Capacitor{name, node(a), node(b), c});
+}
+
+void Netlist::add_vsource(const std::string& name, const std::string& pos,
+                          const std::string& neg, double dc, double ac) {
+  check_fresh_name(name);
+  vsources_.push_back(VoltageSource{name, node(pos), node(neg), dc, ac});
+}
+
+void Netlist::add_isource(const std::string& name, const std::string& pos,
+                          const std::string& neg, double dc, double ac) {
+  check_fresh_name(name);
+  isources_.push_back(CurrentSource{name, node(pos), node(neg), dc, ac});
+}
+
+Mosfet& Netlist::mosfet(const std::string& name) {
+  for (auto& m : mosfets_) {
+    if (m.name == name) return m;
+  }
+  throw InvalidArgument("Netlist: unknown MOSFET '" + name + "'");
+}
+
+const Mosfet& Netlist::mosfet(const std::string& name) const {
+  for (const auto& m : mosfets_) {
+    if (m.name == name) return m;
+  }
+  throw InvalidArgument("Netlist: unknown MOSFET '" + name + "'");
+}
+
+VoltageSource& Netlist::vsource(const std::string& name) {
+  for (auto& v : vsources_) {
+    if (v.name == name) return v;
+  }
+  throw InvalidArgument("Netlist: unknown voltage source '" + name + "'");
+}
+
+Capacitor& Netlist::capacitor(const std::string& name) {
+  for (auto& c : capacitors_) {
+    if (c.name == name) return c;
+  }
+  throw InvalidArgument("Netlist: unknown capacitor '" + name + "'");
+}
+
+void Netlist::set_width(const std::string& mosfet_name, double w) {
+  if (w <= 0) throw InvalidArgument("Netlist: width must be positive");
+  mosfet(mosfet_name).w = w;
+}
+
+}  // namespace ota::circuit

@@ -1,0 +1,121 @@
+// Flat transistor-level netlist.
+//
+// The netlist is the input to all three consumers of the flow: the MNA
+// simulator (Stage IV verification / data generation), the DP-SFG builder
+// (Stage I sequence construction), and the width-update step of Stage III.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "device/technology.hpp"
+
+namespace ota::circuit {
+
+/// Node identifier; kGround (0) is the reference node.
+using NodeId = int;
+inline constexpr NodeId kGround = 0;
+
+struct Mosfet {
+  std::string name;
+  device::MosType type;
+  NodeId drain;
+  NodeId gate;
+  NodeId source;
+  double w;  ///< width [m]
+  double l;  ///< length [m]
+};
+
+struct Resistor {
+  std::string name;
+  NodeId a;
+  NodeId b;
+  double resistance;  ///< [ohm]
+};
+
+struct Capacitor {
+  std::string name;
+  NodeId a;
+  NodeId b;
+  double capacitance;  ///< [F]
+};
+
+struct VoltageSource {
+  std::string name;
+  NodeId pos;
+  NodeId neg;
+  double dc;  ///< DC value [V]
+  double ac;  ///< AC magnitude used in small-signal sweeps [V]
+};
+
+struct CurrentSource {
+  std::string name;
+  NodeId pos;  ///< current flows out of `pos` through the source into `neg`
+  NodeId neg;
+  double dc;  ///< DC value [A]
+  double ac;  ///< AC magnitude [A]
+};
+
+/// A mutable flat netlist.  Components are identified by unique names;
+/// nodes are created on first reference by name.
+class Netlist {
+ public:
+  /// Returns the id for `name`, creating the node if needed.  The name "0"
+  /// (and "gnd") maps to the ground node.
+  NodeId node(const std::string& name);
+
+  /// Looks up an existing node id; throws InvalidArgument when unknown.
+  NodeId find_node(const std::string& name) const;
+
+  /// Name of a node id (inverse of node()).
+  const std::string& node_name(NodeId id) const;
+
+  /// Number of nodes including ground.
+  int node_count() const { return static_cast<int>(node_names_.size()); }
+
+  void add_mosfet(const std::string& name, device::MosType type,
+                  const std::string& d, const std::string& g,
+                  const std::string& s, double w, double l);
+  void add_resistor(const std::string& name, const std::string& a,
+                    const std::string& b, double r);
+  void add_capacitor(const std::string& name, const std::string& a,
+                     const std::string& b, double c);
+  void add_vsource(const std::string& name, const std::string& pos,
+                   const std::string& neg, double dc, double ac = 0.0);
+  void add_isource(const std::string& name, const std::string& pos,
+                   const std::string& neg, double dc, double ac = 0.0);
+
+  const std::vector<Mosfet>& mosfets() const { return mosfets_; }
+  const std::vector<Resistor>& resistors() const { return resistors_; }
+  const std::vector<Capacitor>& capacitors() const { return capacitors_; }
+  const std::vector<VoltageSource>& vsources() const { return vsources_; }
+  const std::vector<CurrentSource>& isources() const { return isources_; }
+
+  /// Mutable access for width updates and parasitic annotation.
+  Mosfet& mosfet(const std::string& name);
+  const Mosfet& mosfet(const std::string& name) const;
+  VoltageSource& vsource(const std::string& name);
+  Capacitor& capacitor(const std::string& name);
+
+  /// Sets the width of one device.
+  void set_width(const std::string& mosfet_name, double w);
+
+  /// True when a component with this name exists (any kind).
+  bool has_component(const std::string& name) const;
+
+ private:
+  void check_fresh_name(const std::string& name) const;
+
+  std::map<std::string, NodeId> node_ids_;
+  std::vector<std::string> node_names_{"0"};
+  std::vector<Mosfet> mosfets_;
+  std::vector<Resistor> resistors_;
+  std::vector<Capacitor> capacitors_;
+  std::vector<VoltageSource> vsources_;
+  std::vector<CurrentSource> isources_;
+};
+
+}  // namespace ota::circuit

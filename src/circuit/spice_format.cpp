@@ -1,0 +1,150 @@
+#include "circuit/spice_format.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "common/strings.hpp"
+#include "common/units.hpp"
+
+namespace ota::circuit {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+[[noreturn]] void fail(int line_no, const std::string& what) {
+  throw InvalidArgument("parse_spice: line " + std::to_string(line_no) + ": " + what);
+}
+
+double value_or_fail(const std::string& text, int line_no, const char* what) {
+  if (auto v = parse_si(text)) return *v;
+  fail(line_no, std::string("bad ") + what + " value '" + text + "'");
+}
+
+// Parses "W=0.7u" / "l=180n" style assignments.
+double assignment(const std::string& word, const char* key, int line_no) {
+  const auto eq = word.find('=');
+  if (eq == std::string::npos || lower(word.substr(0, eq)) != key) {
+    fail(line_no, std::string("expected ") + key + "=<value>, got '" + word + "'");
+  }
+  return value_or_fail(word.substr(eq + 1), line_no, key);
+}
+
+}  // namespace
+
+Netlist parse_spice(const std::string& text) {
+  std::istringstream is(text);
+  return parse_spice_stream(is);
+}
+
+Netlist parse_spice_stream(std::istream& is) {
+  Netlist nl;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const std::string_view trimmed = trim(line);
+    if (trimmed.empty() || trimmed.front() == '*') continue;
+    const auto words = split(trimmed, " \t");
+    const std::string card = lower(words[0]);
+    if (card == ".end") break;
+    if (card[0] == '.') continue;  // other directives ignored
+
+    const char kind = card[0];
+    const std::string name = words[0];
+    switch (kind) {
+      case 'm': case 'M': {
+        // M<name> d g s [b] nmos|pmos W=... L=...
+        if (words.size() < 7) fail(line_no, "MOSFET card needs 7+ fields");
+        size_t i = 4;  // candidate model-name position without bulk
+        std::string model = lower(words[i]);
+        if (model != "nmos" && model != "pmos") {
+          if (words.size() < 8) fail(line_no, "MOSFET card missing model");
+          model = lower(words[++i]);  // bulk terminal present
+          if (model != "nmos" && model != "pmos") {
+            fail(line_no, "unknown MOSFET model '" + words[i] + "'");
+          }
+        }
+        if (words.size() != i + 3) fail(line_no, "MOSFET card needs W= and L=");
+        const double w = assignment(words[i + 1], "w", line_no);
+        const double l = assignment(words[i + 2], "l", line_no);
+        nl.add_mosfet(name,
+                      model == "nmos" ? device::MosType::Nmos : device::MosType::Pmos,
+                      words[1], words[2], words[3], w, l);
+        break;
+      }
+      case 'r': case 'R': {
+        if (words.size() != 4) fail(line_no, "resistor card needs 4 fields");
+        nl.add_resistor(name, words[1], words[2],
+                        value_or_fail(words[3], line_no, "resistance"));
+        break;
+      }
+      case 'c': case 'C': {
+        if (words.size() != 4) fail(line_no, "capacitor card needs 4 fields");
+        nl.add_capacitor(name, words[1], words[2],
+                         value_or_fail(words[3], line_no, "capacitance"));
+        break;
+      }
+      case 'v': case 'V': case 'i': case 'I': {
+        if (words.size() != 4 && words.size() != 6) {
+          fail(line_no, "source card needs 4 or 6 fields");
+        }
+        const double dc = value_or_fail(words[3], line_no, "dc");
+        double ac = 0.0;
+        if (words.size() == 6) {
+          if (lower(words[4]) != "ac") fail(line_no, "expected AC keyword");
+          ac = value_or_fail(words[5], line_no, "ac");
+        }
+        if (kind == 'v' || kind == 'V') {
+          nl.add_vsource(name, words[1], words[2], dc, ac);
+        } else {
+          nl.add_isource(name, words[1], words[2], dc, ac);
+        }
+        break;
+      }
+      default:
+        fail(line_no, "unknown card '" + words[0] + "'");
+    }
+  }
+  return nl;
+}
+
+std::string to_spice(const Netlist& nl, const std::string& title) {
+  std::ostringstream os;
+  os << "* " << (title.empty() ? "otasizer netlist" : title) << "\n";
+  for (const auto& m : nl.mosfets()) {
+    os << m.name << " " << nl.node_name(m.drain) << " " << nl.node_name(m.gate)
+       << " " << nl.node_name(m.source) << " "
+       << (m.type == device::MosType::Nmos ? "nmos" : "pmos")
+       << " W=" << format_si(m.w, "", 6) << " L=" << format_si(m.l, "", 6) << "\n";
+  }
+  for (const auto& r : nl.resistors()) {
+    os << r.name << " " << nl.node_name(r.a) << " " << nl.node_name(r.b) << " "
+       << format_si(r.resistance, "", 6) << "\n";
+  }
+  for (const auto& c : nl.capacitors()) {
+    os << c.name << " " << nl.node_name(c.a) << " " << nl.node_name(c.b) << " "
+       << format_si(c.capacitance, "", 6) << "\n";
+  }
+  for (const auto& v : nl.vsources()) {
+    os << v.name << " " << nl.node_name(v.pos) << " " << nl.node_name(v.neg)
+       << " " << format_si(v.dc, "", 6);
+    if (v.ac != 0.0) os << " AC " << format_si(v.ac, "", 6);
+    os << "\n";
+  }
+  for (const auto& i : nl.isources()) {
+    os << i.name << " " << nl.node_name(i.pos) << " " << nl.node_name(i.neg)
+       << " " << format_si(i.dc, "", 6);
+    if (i.ac != 0.0) os << " AC " << format_si(i.ac, "", 6);
+    os << "\n";
+  }
+  os << ".end\n";
+  return os.str();
+}
+
+}  // namespace ota::circuit

@@ -1,0 +1,35 @@
+// SPICE-format netlist import/export.
+//
+// A pragmatic subset of the classic SPICE deck syntax, enough to move the
+// repository's circuits in and out of external tools:
+//
+//   * comment        — lines starting with '*' (and blank lines)
+//   M<name> d g s [b] <nmos|pmos> W=<val> L=<val>
+//   R<name> a b <value>
+//   C<name> a b <value>
+//   V<name> p n <dc> [AC <mag>]
+//   I<name> p n <dc> [AC <mag>]
+//   .end             — optional terminator
+//
+// Values accept SI-literal notation ("0.7u", "500f", "1.2") via parse_si.
+// The optional bulk terminal of M cards is accepted and ignored (the compact
+// model ties bulk to source).  Parsing is case-insensitive on keywords.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "circuit/netlist.hpp"
+
+namespace ota::circuit {
+
+/// Parses a SPICE deck into a netlist; throws InvalidArgument with a line
+/// number on malformed input.
+Netlist parse_spice(const std::string& text);
+Netlist parse_spice_stream(std::istream& is);
+
+/// Writes a netlist as a SPICE deck (the inverse of parse_spice for the
+/// supported subset; round-trips are tested).
+std::string to_spice(const Netlist& netlist, const std::string& title = "");
+
+}  // namespace ota::circuit

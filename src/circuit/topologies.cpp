@@ -1,0 +1,184 @@
+#include "circuit/topologies.hpp"
+
+#include <algorithm>
+
+namespace ota::circuit {
+
+using device::MosType;
+
+void Topology::apply_widths(const std::vector<double>& widths) {
+  if (widths.size() != match_groups.size()) {
+    throw InvalidArgument("Topology: expected " +
+                          std::to_string(match_groups.size()) + " widths, got " +
+                          std::to_string(widths.size()));
+  }
+  for (size_t g = 0; g < match_groups.size(); ++g) {
+    for (const auto& dev : match_groups[g].devices) {
+      netlist.set_width(dev, widths[g]);
+    }
+  }
+}
+
+std::vector<double> Topology::widths() const {
+  std::vector<double> ws;
+  ws.reserve(match_groups.size());
+  for (const auto& g : match_groups) {
+    ws.push_back(netlist.mosfet(g.devices.front()).w);
+  }
+  return ws;
+}
+
+std::vector<std::string> Topology::mosfet_names() const {
+  std::vector<std::string> names;
+  for (const auto& g : match_groups) {
+    for (const auto& d : g.devices) names.push_back(d);
+  }
+  return names;
+}
+
+Topology make_5t_ota(const device::Technology& tech, const OtaOptions& opt) {
+  Topology t;
+  t.name = "5T-OTA";
+  Netlist& nl = t.netlist;
+
+  nl.add_vsource("VDD", "vdd", "0", tech.vdd);
+  // Differential drive: +0.5 / -0.5 so Vout corresponds to unit Vin_diff.
+  nl.add_vsource("VIP", "vinp", "0", opt.vcm, +0.5);
+  nl.add_vsource("VIN", "vinn", "0", opt.vcm, -0.5);
+  nl.add_vsource("VB", "vb", "0", opt.vbias_n);
+
+  // PMOS mirror load: M1 diode-connected, M2 mirrors into the output.
+  nl.add_mosfet("M1", MosType::Pmos, "n1", "n1", "vdd", opt.w_init, opt.l);
+  nl.add_mosfet("M2", MosType::Pmos, "vout", "n1", "vdd", opt.w_init, opt.l);
+  // NMOS differential pair.  The mirror-side gate is the non-inverting input.
+  nl.add_mosfet("M3", MosType::Nmos, "n1", "vinp", "ntail", opt.w_init, opt.l);
+  nl.add_mosfet("M4", MosType::Nmos, "vout", "vinn", "ntail", opt.w_init, opt.l);
+  // NMOS tail current source.
+  nl.add_mosfet("M5", MosType::Nmos, "ntail", "vb", "0", opt.w_init, opt.l);
+
+  nl.add_capacitor("CL", "vout", "0", opt.cl);
+
+  t.match_groups = {
+      MatchGroup{"load", {"M1", "M2"}, /*min_ic=*/3.0, /*max_ic=*/1e30},
+      MatchGroup{"dp", {"M3", "M4"}, /*min_ic=*/0.0, /*max_ic=*/1.0},
+      MatchGroup{"tail", {"M5"}, 0.0, 1e30},
+  };
+  t.output_node = "vout";
+  t.input_sources = {"VIP", "VIN"};
+  t.device_roles = {{"M1", "Active load"}, {"M2", "Active load"},
+                    {"M3", "DP"},          {"M4", "DP"},
+                    {"M5", "Tail MOS"}};
+  return t;
+}
+
+Topology make_cm_ota(const device::Technology& tech, const OtaOptions& opt) {
+  Topology t;
+  t.name = "CM-OTA";
+  Netlist& nl = t.netlist;
+
+  nl.add_vsource("VDD", "vdd", "0", tech.vdd);
+  nl.add_vsource("VIP", "vinp", "0", opt.vcm, +0.5);
+  nl.add_vsource("VIN", "vinn", "0", opt.vcm, -0.5);
+  nl.add_vsource("VB", "vb", "0", opt.vbias_n);
+
+  // Input stage: NMOS differential pair M3/M4 with tail M5; each branch loads
+  // into a diode-connected PMOS (M1 left, M2 right).
+  nl.add_mosfet("M1", MosType::Pmos, "na", "na", "vdd", opt.w_init, opt.l);
+  nl.add_mosfet("M2", MosType::Pmos, "nb", "nb", "vdd", opt.w_init, opt.l);
+  nl.add_mosfet("M3", MosType::Nmos, "na", "vinp", "ntail", opt.w_init, opt.l);
+  nl.add_mosfet("M4", MosType::Nmos, "nb", "vinn", "ntail", opt.w_init, opt.l);
+  nl.add_mosfet("M5", MosType::Nmos, "ntail", "vb", "0", opt.w_init, opt.l);
+  // Output stage: M6 mirrors the left branch into the NMOS mirror M8/M9 which
+  // pulls the output; M7 mirrors the right branch and pushes the output.
+  nl.add_mosfet("M6", MosType::Pmos, "nc", "na", "vdd", opt.w_init, opt.l);
+  nl.add_mosfet("M7", MosType::Pmos, "vout", "nb", "vdd", opt.w_init, opt.l);
+  nl.add_mosfet("M8", MosType::Nmos, "nc", "nc", "0", opt.w_init, opt.l);
+  nl.add_mosfet("M9", MosType::Nmos, "vout", "nc", "0", opt.w_init, opt.l);
+
+  nl.add_capacitor("CL", "vout", "0", opt.cl);
+
+  t.match_groups = {
+      MatchGroup{"diode_load", {"M1", "M2"}, /*min_ic=*/3.0, /*max_ic=*/1e30},
+      MatchGroup{"dp", {"M3", "M4"}, /*min_ic=*/0.0, /*max_ic=*/1.0},
+      MatchGroup{"tail", {"M5"}, 0.0, 1e30},
+      MatchGroup{"mirror_out", {"M6", "M7"}, /*min_ic=*/3.0, /*max_ic=*/1e30},
+      MatchGroup{"nmirror", {"M8", "M9"}, /*min_ic=*/3.0, /*max_ic=*/1e30},
+  };
+  t.output_node = "vout";
+  t.input_sources = {"VIP", "VIN"};
+  t.device_roles = {{"M1", "Matched CM load"}, {"M2", "Matched CM load"},
+                    {"M3", "DP"},              {"M4", "DP"},
+                    {"M5", "Tail MOS"},        {"M6", "Matched CM load"},
+                    {"M7", "Matched CM load"}, {"M8", "Matched CM load"},
+                    {"M9", "Matched CM load"}};
+  return t;
+}
+
+Topology make_2s_ota(const device::Technology& tech, const OtaOptions& opt) {
+  Topology t;
+  t.name = "2S-OTA";
+  Netlist& nl = t.netlist;
+
+  nl.add_vsource("VDD", "vdd", "0", tech.vdd);
+  nl.add_vsource("VIP", "vinp", "0", opt.vcm, +0.5);
+  nl.add_vsource("VIN", "vinn", "0", opt.vcm, -0.5);
+  nl.add_vsource("VB", "vb", "0", opt.vbias_n);
+  nl.add_vsource("VBP", "vbp", "0", tech.vdd - opt.vbias_p_delta);
+
+  // First stage: the 5T-OTA, output at node o1.
+  nl.add_mosfet("M1", MosType::Pmos, "n1", "n1", "vdd", opt.w_init, opt.l);
+  nl.add_mosfet("M2", MosType::Pmos, "o1", "n1", "vdd", opt.w_init, opt.l);
+  nl.add_mosfet("M3", MosType::Nmos, "n1", "vinp", "ntail", opt.w_init, opt.l);
+  nl.add_mosfet("M4", MosType::Nmos, "o1", "vinn", "ntail", opt.w_init, opt.l);
+  nl.add_mosfet("M5", MosType::Nmos, "ntail", "vb", "0", opt.w_init, opt.l);
+  // Second stage: NMOS common-source M7 loaded by PMOS current source M6.
+  nl.add_mosfet("M6", MosType::Pmos, "vout", "vbp", "vdd", opt.w_init, opt.l);
+  nl.add_mosfet("M7", MosType::Nmos, "vout", "o1", "0", opt.w_init, opt.l);
+
+  // Miller compensation across the second stage plus the external load.
+  nl.add_capacitor("CC", "o1", "vout", opt.cc);
+  nl.add_capacitor("CL", "vout", "0", opt.cl);
+
+  t.match_groups = {
+      MatchGroup{"load1", {"M1", "M2"}, /*min_ic=*/3.0, /*max_ic=*/1e30},
+      MatchGroup{"dp", {"M3", "M4"}, /*min_ic=*/0.0, /*max_ic=*/1.0},
+      MatchGroup{"tail1", {"M5"}, 0.0, 1e30},
+      MatchGroup{"tail2", {"M6"}, 0.0, 1e30},
+      MatchGroup{"cs", {"M7"}, 0.0, 1e30},
+  };
+  t.output_node = "vout";
+  t.input_sources = {"VIP", "VIN"};
+  t.device_roles = {{"M1", "1st stage active load"}, {"M2", "1st stage active load"},
+                    {"M3", "1st stage DP"},          {"M4", "1st stage DP"},
+                    {"M5", "1st stage tail MOS"},    {"M6", "2nd stage tail MOS"},
+                    {"M7", "2nd stage CS"}};
+  return t;
+}
+
+ActiveInductor make_active_inductor(const device::Technology& tech, double c,
+                                    double g, double w, double l) {
+  ActiveInductor ai;
+  Netlist& nl = ai.netlist;
+  nl.add_vsource("VDD", "vdd", "0", tech.vdd);
+  // Source follower: drain at the (AC-grounded) supply, source is the output
+  // node n1, gate at internal node n2.
+  nl.add_mosfet("M", MosType::Nmos, "vdd", "n2", "n1", w, l);
+  nl.add_capacitor("C", "n1", "n2", c);
+  nl.add_resistor("G", "n2", "vdd", 1.0 / g);
+  // Bias/test current pulled out of the source-follower output node (the DC
+  // term biases the follower at Id = 10 uA; the AC term is the excitation).
+  nl.add_isource("Iin", "n1", "0", 10e-6, 1.0);
+  ai.output_node = "n1";
+  ai.input_source = "Iin";
+  return ai;
+}
+
+Topology make_topology(const std::string& name, const device::Technology& tech,
+                       const OtaOptions& opt) {
+  if (name == "5T-OTA") return make_5t_ota(tech, opt);
+  if (name == "CM-OTA") return make_cm_ota(tech, opt);
+  if (name == "2S-OTA") return make_2s_ota(tech, opt);
+  throw InvalidArgument("make_topology: unknown topology '" + name + "'");
+}
+
+}  // namespace ota::circuit

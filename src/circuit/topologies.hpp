@@ -1,0 +1,92 @@
+// The circuits evaluated in the paper.
+//
+// Fig. 2: the active-inductor running example used to explain the DP-SFG.
+// Fig. 6: the three OTA topologies of the evaluation — 5T-OTA, CM-OTA, and
+// 2S-OTA — with the matching constraints of Section IV-A (current mirrors and
+// differential pairs share a width) and the device roles of Tables II/IV/VI.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "device/mos_model.hpp"
+#include "device/technology.hpp"
+
+namespace ota::circuit {
+
+/// A group of devices constrained to share one width (e.g. the two halves of
+/// a differential pair).  Each group is one free sizing variable.
+///
+/// The inversion-coefficient window implements the paper's region filter
+/// (differential pairs toward weak inversion, current mirrors toward strong
+/// inversion) as IC bounds, the EKV-native formulation of those regions.
+struct MatchGroup {
+  std::string name;                  ///< e.g. "dp", "load", "tail"
+  std::vector<std::string> devices;  ///< MOSFET names in the group
+  double min_ic = 0.0;               ///< data-generation filter: IC lower bound
+  double max_ic = 1e30;              ///< data-generation filter: IC upper bound
+};
+
+/// A sizable circuit: netlist + sizing variables + AC measurement hookup.
+struct Topology {
+  std::string name;                     ///< "5T-OTA", "CM-OTA", "2S-OTA"
+  Netlist netlist;
+  std::vector<MatchGroup> match_groups; ///< one entry per free width
+  std::string output_node;              ///< where gain/BW/UGF are measured
+  /// Names of the AC-driven input voltage sources (already set to +/-0.5 for a
+  /// differential drive so the measured transfer is Vout/Vin_diff).
+  std::vector<std::string> input_sources;
+  std::map<std::string, std::string> device_roles;  ///< name -> Table II/IV/VI role
+
+  /// Applies one width per match group, in match_groups order.
+  void apply_widths(const std::vector<double>& widths);
+
+  /// Current width of each match group (taken from its first device).
+  std::vector<double> widths() const;
+
+  /// Names of all MOSFETs in match-group order (deterministic iteration).
+  std::vector<std::string> mosfet_names() const;
+};
+
+/// Options shared by the OTA builders.
+struct OtaOptions {
+  double l = 180e-9;        ///< channel length for every device (paper: 180 nm)
+  double cl = 500e-15;      ///< load capacitance (paper: 500 fF)
+  double w_init = 5e-6;     ///< initial width before sizing
+  double vcm = 0.75;        ///< input common-mode voltage
+  double vbias_n = 0.50;    ///< NMOS tail gate bias
+  double vbias_p_delta = 0.60;  ///< PMOS bias below VDD (Vdd - delta)
+  double cc = 2e-12;        ///< Miller compensation capacitor (2S-OTA only)
+};
+
+/// Five-transistor OTA (Fig. 6a): PMOS mirror load M1/M2, NMOS differential
+/// pair M3/M4, NMOS tail M5.  3 sizing variables.
+Topology make_5t_ota(const device::Technology& tech, const OtaOptions& opt = {});
+
+/// Current-mirror OTA (Fig. 6b): NMOS DP M3/M4 and tail M5, PMOS diode loads
+/// M1/M2, PMOS mirror outputs M6/M7, NMOS folding mirror M8/M9.  5 variables.
+Topology make_cm_ota(const device::Technology& tech, const OtaOptions& opt = {});
+
+/// Two-stage OTA (Fig. 6c): 5T first stage (M1..M5), PMOS current-source load
+/// M6 and NMOS common-source M7 second stage, Miller cap Cc.  5 variables.
+Topology make_2s_ota(const device::Technology& tech, const OtaOptions& opt = {});
+
+/// Active-inductor circuit of Fig. 2a: source follower M with gate network
+/// C (gate-source coupling) and conductance G to ground, driven by a current
+/// source at the output node.  Used by the DP-SFG demonstrations and tests.
+struct ActiveInductor {
+  Netlist netlist;
+  std::string output_node;
+  std::string input_source;  ///< the current-source excitation "Iin"
+};
+ActiveInductor make_active_inductor(const device::Technology& tech,
+                                    double c = 100e-15, double g = 50e-6,
+                                    double w = 2e-6, double l = 180e-9);
+
+/// Builds a topology by name ("5T-OTA" | "CM-OTA" | "2S-OTA").
+Topology make_topology(const std::string& name, const device::Technology& tech,
+                       const OtaOptions& opt = {});
+
+}  // namespace ota::circuit

@@ -1,0 +1,36 @@
+// Error types shared across the otasizer library.
+//
+// All library errors derive from ota::Error so callers can catch one type at
+// the API boundary.  Each subsystem throws the most specific subtype.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ota {
+
+/// Base class of all otasizer exceptions.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A malformed input (bad netlist, unparsable SI literal, bad config value).
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// A numerical procedure failed to converge (Newton DC solve, width estimator).
+class ConvergenceError : public Error {
+ public:
+  explicit ConvergenceError(const std::string& what) : Error(what) {}
+};
+
+/// An internal invariant was violated; indicates a library bug.
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+}  // namespace ota

@@ -1,0 +1,51 @@
+// Deterministic random number generation.
+//
+// All stochastic components (data-generation sweep jitter, parameter
+// initialization, dropout, baseline optimizers) draw from a seeded Rng so every
+// experiment in the repository is reproducible bit-for-bit given its seed.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace ota {
+
+/// A seeded pseudo-random source.  Thin wrapper over std::mt19937_64 with the
+/// handful of draw shapes the library needs.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5EED5EEDULL) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t uniform_int(int64_t lo, int64_t hi) {
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Standard normal scaled by `stddev` around `mean`.
+  double normal(double mean = 0.0, double stddev = 1.0) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Bernoulli draw with probability `p` of true.
+  bool bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Log-uniform draw in [lo, hi]; natural for width sweeps spanning decades.
+  double log_uniform(double lo, double hi) {
+    return std::exp(uniform(std::log(lo), std::log(hi)));
+  }
+
+  /// Underlying engine, for std::shuffle and distribution reuse.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace ota

@@ -1,0 +1,43 @@
+#include "common/strings.hpp"
+
+namespace ota {
+
+std::vector<std::string> split(std::string_view text, std::string_view delims) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find_first_of(delims, start);
+    if (end == std::string_view::npos) end = text.size();
+    if (end > start) out.emplace_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+std::string join(const std::vector<std::string>& pieces, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) out += sep;
+    out += pieces[i];
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view text) {
+  const char* ws = " \t\r\n";
+  size_t b = text.find_first_not_of(ws);
+  if (b == std::string_view::npos) return {};
+  size_t e = text.find_last_not_of(ws);
+  return text.substr(b, e - b + 1);
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
+}  // namespace ota

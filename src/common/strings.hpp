@@ -1,0 +1,25 @@
+// Small string helpers shared by the tokenizer and sequence builders.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ota {
+
+/// Splits `text` on any of the characters in `delims`, dropping empty pieces.
+std::vector<std::string> split(std::string_view text, std::string_view delims = " \t\n");
+
+/// Joins `pieces` with `sep` between consecutive elements.
+std::string join(const std::vector<std::string>& pieces, std::string_view sep);
+
+/// Removes leading and trailing whitespace.
+std::string_view trim(std::string_view text);
+
+/// True when `text` begins with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// True when `text` ends with `suffix`.
+bool ends_with(std::string_view text, std::string_view suffix);
+
+}  // namespace ota

@@ -1,0 +1,36 @@
+// SI-prefixed engineering notation used throughout the sizing flow.
+//
+// The DP-SFG sequence language of the paper embeds device parameters as
+// SI-prefixed literals such as "2.5mS", "541aF", or "101uS" (Fig. 4).  These
+// helpers are the single source of truth for producing and consuming that
+// notation, so the tokenizer, the sequence builder, and the tests all agree on
+// the exact textual form.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace ota {
+
+/// Formats `value` (in base units) with an SI prefix and `unit` suffix, using
+/// `sig_digits` significant digits, e.g. format_si(2.5e-3, "S") == "2.5mS".
+/// Zero formats as "0<unit>".  Values outside [1e-18, 1e15) fall back to
+/// scientific notation with the unit appended.
+std::string format_si(double value, std::string_view unit, int sig_digits = 3);
+
+/// Formats a dimensionless value with `sig_digits` significant digits and no
+/// prefix (used for dB gains and ratios in specification strings).
+std::string format_plain(double value, int sig_digits = 4);
+
+/// Parses an SI-prefixed literal produced by format_si (or hand-written, e.g.
+/// "0.7um", "-1.5mS", "500fF").  Returns the value in base units, or
+/// std::nullopt when the text is not a valid SI literal.  `unit`, when
+/// non-empty, must match the trailing unit exactly.
+std::optional<double> parse_si(std::string_view text, std::string_view unit = "");
+
+/// Returns the multiplier of a single-character SI prefix ('m' -> 1e-3), or
+/// std::nullopt when `c` is not a recognized prefix.
+std::optional<double> si_prefix_value(char c);
+
+}  // namespace ota

@@ -1,0 +1,69 @@
+// Evaluation harness shared by the Table II-VIII benchmarks.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/copilot.hpp"
+#include "core/sequence_builder.hpp"
+#include "core/sizing_model.hpp"
+
+namespace ota::core {
+
+/// One row of a Table II/IV/VI-style correlation report: Pearson r between
+/// the transformer-predicted and simulation-measured device parameters, per
+/// matched device group, across a set of validation designs.
+struct CorrelationRow {
+  std::string devices;  ///< "M1/M2" or "M5"
+  std::string role;     ///< Table II/IV/VI role label
+  double r_gm = 0.0;
+  double r_gds = 0.0;
+  double r_cds = 0.0;
+  double r_cgs = 0.0;
+  int samples = 0;      ///< designs with a usable prediction for this group
+};
+
+/// Predicts parameters for each validation design's specs and correlates
+/// them against the design's measured parameters.
+std::vector<CorrelationRow> correlation_table(
+    const circuit::Topology& topology, const SequenceBuilder& builder,
+    const Predictor& model, const std::vector<Design>& validation,
+    int max_designs = 100);
+
+/// Paired predicted/measured values of one parameter for one device across
+/// validation designs — the scatter data of the paper's Fig. 7.
+struct ScatterSeries {
+  std::string device;
+  std::string param;  ///< "gm" | "gds" | "Cds" | "Cgs"
+  std::vector<double> measured;
+  std::vector<double> predicted;
+};
+ScatterSeries scatter_series(const SequenceBuilder& builder,
+                             const Predictor& model,
+                             const std::vector<Design>& validation,
+                             const std::string& device,
+                             const std::string& param, int max_designs = 100);
+
+/// Table VIII-style runtime/success accounting over a set of spec targets.
+struct RuntimeStats {
+  int total = 0;
+  int single_iteration = 0;   ///< solved with one verification simulation
+  int multi_iteration = 0;    ///< solved with 2..max iterations
+  int failures = 0;
+  double avg_single_seconds = 0.0;
+  double avg_multi_seconds = 0.0;
+  double avg_multi_iterations = 0.0;
+  double avg_sims_per_design = 0.0;
+};
+RuntimeStats runtime_stats(SizingCopilot& copilot,
+                           const std::vector<Specs>& targets,
+                           const CopilotOptions& opt = {});
+
+/// Derives unseen-but-achievable spec targets from validation designs by
+/// relaxing each measured spec slightly (the "100 unique designs per
+/// topology with distinct specifications" protocol of Section IV-C).
+std::vector<Specs> targets_from_designs(const std::vector<Design>& designs,
+                                        int count, double relax = 0.05,
+                                        uint64_t seed = 99);
+
+}  // namespace ota::core

@@ -1,0 +1,20 @@
+// Abstraction over Stage II: anything that maps an encoder sequence to a
+// decoder sequence.  The transformer (SizingModel) is the paper's instance;
+// NearestNeighborPredictor is a non-learned reference used by tests and the
+// ablation benchmarks (how much does the transformer beat a lookup of the
+// closest training design?).
+#pragma once
+
+#include <string>
+
+namespace ota::core {
+
+class Predictor {
+ public:
+  virtual ~Predictor() = default;
+  /// Decoder-sequence prediction for an encoder sequence.
+  virtual std::string predict(const std::string& encoder_text,
+                              int max_tokens) const = 0;
+};
+
+}  // namespace ota::core

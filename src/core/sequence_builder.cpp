@@ -1,0 +1,164 @@
+#include "core/sequence_builder.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+#include "common/units.hpp"
+#include "spice/dc.hpp"
+
+namespace ota::core {
+
+namespace {
+
+const char* unit_of(char u) {
+  switch (u) {
+    case 'S': return "S";
+    case 'F': return "F";
+    case 'A': return "A";
+  }
+  throw InvalidArgument("SequenceBuilder: unknown unit class");
+}
+
+// Looks up a slot's value in a design's captured device parameters.
+double slot_value(const ParamSlot& slot, const Design& d) {
+  const auto& ss = d.devices.at(slot.device);
+  if (starts_with(slot.name, "gm")) return ss.gm;
+  if (starts_with(slot.name, "gds")) return ss.gds;
+  if (starts_with(slot.name, "Cds")) return ss.cds;
+  if (starts_with(slot.name, "Cgs")) return ss.cgs;
+  if (starts_with(slot.name, "Id")) return ss.id;
+  throw InternalError("SequenceBuilder: unknown slot " + slot.name);
+}
+
+}  // namespace
+
+SequenceBuilder::SequenceBuilder(const circuit::Topology& topology,
+                                 const device::Technology& tech,
+                                 SequenceMode mode, int sig_digits)
+    : mode_(mode), sig_digits_(sig_digits), topo_name_(topology.name) {
+  // Build the reference DP-SFG at the topology's current widths: the graph
+  // *structure* (and therefore the symbolic text) is width-independent.
+  circuit::Topology topo = topology;
+  const auto dc = spice::solve_dc(topo.netlist, tech);
+  const auto devices = spice::small_signal_map(topo.netlist, tech, dc);
+  graph_ = sfg::DpSfg::build(topo.netlist, devices, topo.output_node);
+  paths_ = sfg::collect_paths(graph_);
+  symbolic_lines_ = sfg::render_lines(graph_, paths_, sfg::RenderMode::Symbolic);
+
+  // Canonical slots: per match-group representative, the four DP-SFG device
+  // parameters plus the drain current (Algorithm 1's I_d^in).
+  for (const auto& g : topo.match_groups) {
+    reps_.push_back(g.devices.front());
+  }
+  for (const auto& rep : reps_) {
+    slots_.push_back(ParamSlot{"gm" + rep, rep, 'S'});
+    slots_.push_back(ParamSlot{"gds" + rep, rep, 'S'});
+    slots_.push_back(ParamSlot{"Cds" + rep, rep, 'F'});
+    slots_.push_back(ParamSlot{"Cgs" + rep, rep, 'F'});
+    slots_.push_back(ParamSlot{"Id" + rep, rep, 'A'});
+  }
+}
+
+std::string SequenceBuilder::spec_text(const Specs& s) const {
+  // Specification (encoder-side) resolution stays at 3 digits regardless of
+  // the decoder's sig_digits: input precision conditions the prediction.
+  return "SPEC " + format_plain(s.gain_db, 3) + "dB " +
+         format_si(s.bw_hz, "Hz", 3) + " " + format_si(s.ugf_hz, "Hz", 3);
+}
+
+std::string SequenceBuilder::encoder_text(const Specs& specs) const {
+  if (mode_ == SequenceMode::Compact) {
+    std::vector<std::string> words;
+    words.reserve(slots_.size() + 4);
+    for (const auto& s : slots_) words.push_back(s.name);
+    return join(words, " ") + " " + spec_text(specs);
+  }
+  return join(symbolic_lines_, " | ") + " " + spec_text(specs);
+}
+
+std::string SequenceBuilder::decoder_text(const Design& design) const {
+  if (mode_ == SequenceMode::Compact) {
+    std::vector<std::string> words;
+    words.reserve(slots_.size() * 2);
+    for (const auto& s : slots_) {
+      words.push_back(s.name);
+      words.push_back(format_si(slot_value(s, design), unit_of(s.unit), sig_digits_));
+    }
+    return join(words, " ");
+  }
+  // FullPaths: substitute this design's values into the graph and re-render.
+  sfg::DpSfg g = graph_;
+  std::map<std::string, double> values;
+  for (const auto& [dev, ss] : design.devices) {
+    values["gm" + dev] = ss.gm;
+    values["gds" + dev] = ss.gds;
+    values["Cds" + dev] = ss.cds;
+    values["Cgs" + dev] = ss.cgs;
+  }
+  g.substitute(values);
+  return join(sfg::render_lines(g, paths_, sfg::RenderMode::Numeric, sig_digits_),
+              " | ");
+}
+
+std::map<std::string, double> SequenceBuilder::parse_decoder(
+    const std::string& text) const {
+  std::map<std::string, double> out;
+  if (mode_ == SequenceMode::Compact) {
+    const auto words = split(text, " ");
+    for (size_t i = 0; i + 1 < words.size(); ++i) {
+      for (const auto& s : slots_) {
+        if (words[i] != s.name) continue;
+        if (auto v = parse_si(words[i + 1], unit_of(s.unit))) {
+          if (*v > 0.0 && out.find(s.name) == out.end()) out[s.name] = *v;
+        }
+        break;
+      }
+    }
+    return out;
+  }
+
+  // FullPaths: align symbolic and predicted numeric fragments.  Fragments are
+  // the pieces between structural delimiters; where the symbolic side has a
+  // device parameter, the numeric side carries its value.
+  auto fragments = [](const std::string& s) {
+    std::vector<std::string> f;
+    std::string cur;
+    for (char c : s) {
+      if (c == '+' || c == '-' || c == '(' || c == ')' || c == '/' ||
+          c == ' ' || c == '|') {
+        if (!cur.empty()) f.push_back(cur);
+        cur.clear();
+      } else {
+        cur.push_back(c);
+      }
+    }
+    if (!cur.empty()) f.push_back(cur);
+    return f;
+  };
+  const auto sym = fragments(join(symbolic_lines_, " | "));
+  const auto num = fragments(text);
+  const size_t n = std::min(sym.size(), num.size());
+  for (size_t i = 0; i < n; ++i) {
+    std::string name = sym[i];
+    if (starts_with(name, "sC")) name = name.substr(1);  // "sCgsM1" -> "CgsM1"
+    const bool is_param =
+        starts_with(name, "gm") || starts_with(name, "gds") ||
+        starts_with(name, "Cds") || starts_with(name, "Cgs");
+    if (!is_param || name.size() < 3) continue;
+    // Numeric fragment: optional 's', SI value with unit, then device name.
+    std::string frag = num[i];
+    if (!frag.empty() && frag[0] == 's') frag = frag.substr(1);
+    // The device suffix is the parameter's own device name.
+    const std::string device = starts_with(name, "gm") ? name.substr(2)
+                               : name.substr(3);
+    if (!ends_with(frag, device)) continue;
+    frag = frag.substr(0, frag.size() - device.size());
+    const char unit = starts_with(name, "gm") || starts_with(name, "gds") ? 'S' : 'F';
+    if (auto v = parse_si(frag, unit_of(unit))) {
+      if (*v > 0.0 && out.find(name) == out.end()) out[name] = *v;
+    }
+  }
+  return out;
+}
+
+}  // namespace ota::core

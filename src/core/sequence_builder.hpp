@@ -1,0 +1,90 @@
+// Circuit-and-spec to sequence mapping (paper Fig. 4, Stage I).
+//
+// Two representations are provided:
+//
+//  * FullPaths — the paper's Fig. 4 text: every DP-SFG forward path and cycle
+//    rendered symbolically on the encoder side and with numeric device
+//    parameters on the decoder side, each line carrying the specification
+//    triple.  Faithful but long (the paper itself notes that "other string
+//    representations" are possible when path counts grow).
+//
+//  * Compact — the condensed representation used as the benchmark default:
+//    the encoder carries the canonical device-parameter skeleton (derived
+//    from the same DP-SFG) plus the specifications; the decoder carries
+//    "name value" pairs per match-group representative, extended with the
+//    drain currents Algorithm 1 consumes as I_d^in.  One entry per matched
+//    group keeps the sequence short enough for CPU-scale training.
+//
+// Both sides use the SI-literal notation of the paper ("2.5mS", "541aF").
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/dataset.hpp"
+#include "sfg/sequence.hpp"
+
+namespace ota::core {
+
+enum class SequenceMode { Compact, FullPaths };
+
+/// One parameter slot in the canonical ordering.
+struct ParamSlot {
+  std::string name;    ///< "gmM1", "CdsM3", "IdM5", ...
+  std::string device;  ///< owning device ("M1")
+  char unit;           ///< 'S' (conductance), 'F' (capacitance), 'A' (current)
+};
+
+class SequenceBuilder {
+ public:
+  /// `sig_digits` controls the numeric literals of the decoder text.  The
+  /// default of 2 keeps every digit learnable: the third significant digit of
+  /// a device parameter is below the design-manifold noise floor, and the
+  /// +/-2.5% rounding is far inside the copilot's verification tolerance.
+  SequenceBuilder(const circuit::Topology& topology,
+                  const device::Technology& tech,
+                  SequenceMode mode = SequenceMode::Compact,
+                  int sig_digits = 2);
+
+  SequenceMode mode() const { return mode_; }
+  const std::string& topology_name() const { return topo_name_; }
+
+  /// Encoder-side text for a specification request.  The circuit part is
+  /// identical for every design of the topology (it is the symbolic DP-SFG
+  /// description); only the appended specification changes.
+  std::string encoder_text(const Specs& specs) const;
+
+  /// Decoder-side (target) text with the design's parameter values.
+  std::string decoder_text(const Design& design) const;
+
+  /// Parses (possibly imperfect) predicted decoder text into parameter
+  /// values keyed by slot name.  Malformed fragments are skipped.
+  std::map<std::string, double> parse_decoder(const std::string& text) const;
+
+  /// Canonical parameter slots (compact decoder order).
+  const std::vector<ParamSlot>& slots() const { return slots_; }
+
+  /// Representative device name of each match group, in group order.
+  const std::vector<std::string>& representatives() const { return reps_; }
+
+  /// The DP-SFG this builder derives its text from.
+  const sfg::DpSfg& graph() const { return graph_; }
+
+  /// Formats the specification block ("SPEC 20.1dB 11.4MHz 119MHz").
+  std::string spec_text(const Specs& specs) const;
+
+ private:
+  std::string render_full_paths(const Design* design) const;
+
+  SequenceMode mode_;
+  int sig_digits_;
+  std::string topo_name_;
+  std::vector<std::string> reps_;
+  std::vector<ParamSlot> slots_;
+  sfg::DpSfg graph_;
+  sfg::PathSet paths_;
+  std::vector<std::string> symbolic_lines_;
+};
+
+}  // namespace ota::core

@@ -1,0 +1,174 @@
+#include "core/sizing_model.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace ota::core {
+
+using nlp::TokenId;
+using nlp::Vocabulary;
+
+std::vector<double> SizingModel::target_weights(const std::vector<TokenId>& tgt,
+                                                double numeric_weight) const {
+  // One weight per target token plus the trailing <eos>.
+  std::vector<double> w;
+  w.reserve(tgt.size() + 1);
+  for (TokenId id : tgt) {
+    const std::string& piece = tokenizer_.vocab().piece(id);
+    w.push_back(nlp::is_numeric_token(piece) ? numeric_weight : 1.0);
+  }
+  w.push_back(1.0);  // <eos>
+  return w;
+}
+
+TrainHistory SizingModel::train(
+    const std::vector<std::pair<std::string, std::string>>& pairs,
+    const TrainOptions& opt) {
+  if (pairs.empty()) throw InvalidArgument("SizingModel::train: no examples");
+  opt_ = opt;
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // Tokenizer trained over both sides of the corpus.
+  std::vector<std::string> corpus;
+  corpus.reserve(pairs.size() * 2);
+  for (const auto& [e, d] : pairs) {
+    corpus.push_back(e);
+    corpus.push_back(d);
+  }
+  tokenizer_ = nlp::BpeTokenizer::train(corpus, {.num_merges = opt.bpe_merges});
+
+  // Pre-encode everything once.
+  struct Example {
+    std::vector<TokenId> src, tgt;
+    std::vector<double> weights;
+  };
+  std::vector<Example> examples;
+  examples.reserve(pairs.size());
+  for (const auto& [e, d] : pairs) {
+    Example ex;
+    ex.src = tokenizer_.encode(e);
+    ex.tgt = tokenizer_.encode(d);
+    ex.weights = target_weights(ex.tgt, opt.numeric_weight);
+    examples.push_back(std::move(ex));
+  }
+
+  ml::TransformerConfig cfg;
+  cfg.vocab_size = static_cast<int64_t>(tokenizer_.vocab().size());
+  cfg.d_model = opt.d_model;
+  cfg.n_heads = opt.n_heads;
+  cfg.n_layers = opt.n_layers;
+  cfg.d_ff = opt.d_ff;
+  cfg.max_len = opt.max_len;
+  cfg.dropout = opt.dropout;
+  cfg.seed = opt.seed;
+  model_ = std::make_unique<ml::Transformer>(cfg);
+
+  ml::AdamOptions aopt;
+  aopt.lr = opt.lr;
+  ml::Adam adam(model_->parameters(), aopt);
+
+  // Validation split for the adaptive-lr schedule.
+  Rng rng(opt.seed ^ 0xBADC0DE);
+  std::vector<size_t> order(examples.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::shuffle(order.begin(), order.end(), rng.engine());
+  const size_t n_val = std::min(
+      examples.size() / 2,
+      static_cast<size_t>(opt.val_fraction * static_cast<double>(examples.size())));
+  const std::vector<size_t> val_idx(order.begin(), order.begin() + static_cast<long>(n_val));
+  std::vector<size_t> train_idx(order.begin() + static_cast<long>(n_val), order.end());
+
+  TrainHistory hist;
+  for (int epoch = 0; epoch < opt.epochs; ++epoch) {
+    std::shuffle(train_idx.begin(), train_idx.end(), rng.engine());
+    double total = 0.0;
+    int in_batch = 0;
+    for (size_t idx : train_idx) {
+      const Example& ex = examples[idx];
+      const ml::Var l = model_->loss(ex.src, ex.tgt, ex.weights, rng);
+      total += l->value.at(0);
+      ml::backward(l);
+      if (++in_batch >= opt.batch_size) {
+        adam.step();
+        in_batch = 0;
+      }
+    }
+    if (in_batch > 0) adam.step();
+    const double train_loss = total / static_cast<double>(train_idx.size());
+    hist.train_loss.push_back(train_loss);
+
+    double vloss = train_loss;
+    if (!val_idx.empty()) {
+      double vtotal = 0.0;
+      for (size_t idx : val_idx) {
+        const Example& ex = examples[idx];
+        vtotal += model_->loss(ex.src, ex.tgt, ex.weights, rng, /*training=*/false)
+                      ->value.at(0);
+      }
+      vloss = vtotal / static_cast<double>(val_idx.size());
+    }
+    hist.val_loss.push_back(vloss);
+    adam.observe_loss(vloss);
+    if (opt.verbose) {
+      std::fprintf(stderr, "[train] epoch %d/%d  train %.4f  val %.4f  lr %.2e\n",
+                   epoch + 1, opt.epochs, train_loss, vloss, adam.learning_rate());
+    }
+  }
+  hist.seconds = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - t0).count();
+  return hist;
+}
+
+std::string SizingModel::predict(const std::string& encoder_text,
+                                 int max_tokens) const {
+  if (!model_) throw InvalidArgument("SizingModel::predict: not trained");
+  const auto src = tokenizer_.encode(encoder_text);
+  const auto out = model_->greedy_decode(src, max_tokens);
+  return tokenizer_.decode(out);
+}
+
+const nlp::BpeTokenizer& SizingModel::tokenizer() const {
+  if (!model_) throw InvalidArgument("SizingModel: not trained");
+  return tokenizer_;
+}
+
+const ml::Transformer& SizingModel::transformer() const {
+  if (!model_) throw InvalidArgument("SizingModel: not trained");
+  return *model_;
+}
+
+void SizingModel::save(const std::string& prefix) const {
+  if (!model_) throw InvalidArgument("SizingModel::save: not trained");
+  {
+    std::ofstream bpe(prefix + ".bpe");
+    bpe << tokenizer_.serialize();
+  }
+  {
+    std::ofstream mdl(prefix + ".model", std::ios::binary);
+    const auto& cfg = model_->config();
+    mdl.write(reinterpret_cast<const char*>(&cfg), sizeof cfg);
+    model_->save(mdl);
+  }
+}
+
+bool SizingModel::load(const std::string& prefix) {
+  std::ifstream bpe(prefix + ".bpe");
+  std::ifstream mdl(prefix + ".model", std::ios::binary);
+  if (!bpe || !mdl) return false;
+  std::stringstream ss;
+  ss << bpe.rdbuf();
+  tokenizer_ = nlp::BpeTokenizer::deserialize(ss.str());
+  ml::TransformerConfig cfg;
+  mdl.read(reinterpret_cast<char*>(&cfg), sizeof cfg);
+  if (!mdl) return false;
+  model_ = std::make_unique<ml::Transformer>(cfg);
+  model_->load(mdl);
+  return true;
+}
+
+}  // namespace ota::core

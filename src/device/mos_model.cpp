@@ -1,0 +1,168 @@
+#include "device/mos_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ota::device {
+namespace {
+
+// Numerically safe ln(1 + exp(x)); linear for large x, exp(x) for small x.
+double softplus(double x) {
+  if (x > 30.0) return x;
+  if (x < -30.0) return std::exp(x);
+  return std::log1p(std::exp(x));
+}
+
+// Logistic sigmoid, the derivative of softplus.
+double sigmoid(double x) {
+  if (x > 30.0) return 1.0;
+  if (x < -30.0) return std::exp(x);
+  return 1.0 / (1.0 + std::exp(-x));
+}
+
+}  // namespace
+
+const char* to_string(Region r) {
+  switch (r) {
+    case Region::Off: return "off";
+    case Region::WeakInversion: return "weak";
+    case Region::ModerateInversion: return "moderate";
+    case Region::StrongInversion: return "strong";
+  }
+  return "?";
+}
+
+const char* to_string(Conduction c) {
+  switch (c) {
+    case Conduction::Cutoff: return "cutoff";
+    case Conduction::Triode: return "triode";
+    case Conduction::Saturation: return "saturation";
+  }
+  return "?";
+}
+
+MosModel::CoreEval MosModel::core(double vgs, double vds, double w, double l) const {
+  if (w <= 0.0 || l <= 0.0) throw InvalidArgument("MosModel: non-positive W or L");
+  const double phi_t = p_.phi_t;
+  const double n = p_.n;
+
+  // Pinch-off voltage and normalized charges (source-referenced EKV).
+  const double vp = (vgs - p_.vt0) / n;
+  const double uf = vp / (2.0 * phi_t);
+  const double ur = (vp - vds) / (2.0 * phi_t);
+  const double qf = softplus(uf);
+  const double qr = softplus(ur);
+  const double i_f = qf * qf;
+  const double i_r = qr * qr;
+
+  // Specific current: Ispec = 2 n kp phi_t^2 (W/L).
+  const double ispec = 2.0 * n * p_.kp * phi_t * phi_t * (w / l);
+
+  // Smooth channel-length-modulation factor.  softplus makes the factor tend
+  // to 1 for Vds <= 0 while matching (1 + lambda Vds) in saturation, keeping
+  // the current C-infinity for the Newton solver.
+  const double lambda = p_.lambda_l / l;
+  const double clm = 1.0 + lambda * p_.phi_t * softplus(vds / phi_t);
+  const double dclm_dvds = lambda * sigmoid(vds / phi_t);
+
+  const double i0 = ispec * (i_f - i_r);
+  const double id = i0 * clm;
+
+  // d(i_f)/dVgs = 2 qf sigmoid(uf) / (2 n phi_t); similarly for i_r.
+  const double dif_dvgs = 2.0 * qf * sigmoid(uf) / (2.0 * n * phi_t);
+  const double dir_dvgs = 2.0 * qr * sigmoid(ur) / (2.0 * n * phi_t);
+  const double dir_dvds = -2.0 * qr * sigmoid(ur) / (2.0 * phi_t);
+
+  CoreEval e;
+  e.id = id;
+  e.gm = ispec * (dif_dvgs - dir_dvgs) * clm;
+  e.gds = ispec * (-dir_dvds) * clm + i0 * dclm_dvds;
+  e.i_f = i_f;
+  e.i_r = i_r;
+  return e;
+}
+
+double MosModel::vdsat(double vgs, double /*l*/) const {
+  const double vp = (vgs - p_.vt0) / p_.n;
+  const double qf = softplus(vp / (2.0 * p_.phi_t));
+  // EKV saturation estimate: Vdsat ~ 2 phi_t sqrt(IC) + 4 phi_t.
+  return 2.0 * p_.phi_t * qf + 4.0 * p_.phi_t;
+}
+
+DcEval MosModel::dc(double vg, double vd, double vs, double w, double l) const {
+  DcEval out;
+  if (p_.type == MosType::Nmos) {
+    const CoreEval e = core(vg - vs, vd - vs, w, l);
+    out.id = e.id;
+    out.di_dvg = e.gm;
+    out.di_dvd = e.gds;
+    out.di_dvs = -(e.gm + e.gds);
+  } else {
+    // PMOS: evaluate in the source-referenced positive frame (vsg, vsd); the
+    // physical current flows source -> drain, i.e. *out of* the drain node is
+    // negative, so the current into the drain terminal is -Id(vsg, vsd)...
+    // with our "into drain" sign convention the PMOS current into the drain
+    // is negative when the device conducts.
+    const CoreEval e = core(vs - vg, vs - vd, w, l);
+    out.id = -e.id;
+    // Chain rule: d(-Id)/dvg = -dId/dvsg * d(vsg)/dvg = +gm, etc.
+    out.di_dvg = e.gm;
+    out.di_dvd = e.gds;
+    out.di_dvs = -(e.gm + e.gds);
+  }
+  return out;
+}
+
+SmallSignal MosModel::evaluate(double vgs, double vds, double w, double l) const {
+  const CoreEval e = core(vgs, vds, w, l);
+
+  SmallSignal ss;
+  ss.id = std::fabs(e.id);
+  ss.gm = std::fabs(e.gm);
+  ss.gds = std::max(e.gds, 0.0);
+  ss.ic = e.i_f;
+
+  // Gate-source capacitance: channel charge fraction ramps smoothly from 0
+  // (off) to 2/3 of the oxide capacitance (strong-inversion saturation), plus
+  // the overlap term.  Both terms are proportional to W.
+  const double qf = std::sqrt(e.i_f);
+  const double channel_frac = qf / (1.0 + qf);
+  ss.cgs = (2.0 / 3.0) * p_.cox * w * l * channel_frac + p_.cov * w;
+
+  // Drain junction capacitance with reverse-bias dependence; proportional
+  // to W by construction (per-width capacitance parameter).
+  const double vrev = std::max(vds, 0.0);
+  ss.cds = p_.cj_w * w / std::pow(1.0 + vrev / p_.pb, p_.mj);
+
+  // Region classification by inversion coefficient.
+  if (e.i_f < 1e-3) {
+    ss.region = Region::Off;
+  } else if (e.i_f < 0.1) {
+    ss.region = Region::WeakInversion;
+  } else if (e.i_f <= 10.0) {
+    ss.region = Region::ModerateInversion;
+  } else {
+    ss.region = Region::StrongInversion;
+  }
+
+  if (e.i_f < 1e-3) {
+    ss.conduction = Conduction::Cutoff;
+  } else if (vds >= vdsat(vgs, l)) {
+    ss.conduction = Conduction::Saturation;
+  } else {
+    ss.conduction = Conduction::Triode;
+  }
+  return ss;
+}
+
+SmallSignal MosModel::small_signal(double vg, double vd, double vs, double w,
+                                   double l) const {
+  if (p_.type == MosType::Nmos) {
+    return evaluate(vg - vs, vd - vs, w, l);
+  }
+  return evaluate(vs - vg, vs - vd, w, l);
+}
+
+}  // namespace ota::device

@@ -1,0 +1,100 @@
+// EKV-style analytical MOSFET compact model.
+//
+// This model substitutes for the paper's 65 nm foundry PDK (see DESIGN.md,
+// "Substitutions").  It provides everything the sizing flow consumes:
+//
+//   * a drain current that is continuous from weak through strong inversion
+//     (the paper requires differential pairs in weak inversion and current
+//     mirrors in strong inversion),
+//   * channel-length modulation, so gds and therefore achievable gain are
+//     realistic for a short-channel node,
+//   * bias-dependent capacitances Cgs and Cds,
+//   * exact linearity of {Id, gm, gds, Cgs, Cds} in the width W, which is the
+//     property the paper's per-unit-width LUT and gm/Id method rely on.
+//
+// The model is charge-sheet EKV in its simplest source-referenced form: bulk
+// is tied to source (as in the paper's OTA schematics) so no body effect term
+// is needed.
+#pragma once
+
+#include <string>
+
+#include "device/technology.hpp"
+
+namespace ota::device {
+
+/// Operating region of a MOSFET, classified by inversion coefficient and
+/// saturation voltage.  The paper's data-generation stage filters designs on
+/// these regions (Section IV-A).
+enum class Region { Off, WeakInversion, ModerateInversion, StrongInversion };
+
+/// Conduction mode: whether the device has enough Vds to act as a current
+/// source (saturation) or is in the ohmic/triode regime.
+enum class Conduction { Cutoff, Triode, Saturation };
+
+const char* to_string(Region r);
+const char* to_string(Conduction c);
+
+/// Small-signal parameters at an operating point, in absolute units for the
+/// given W and L.  These are the five LUT outputs of the paper's Fig. 5 plus
+/// bookkeeping used by the region filters.
+struct SmallSignal {
+  double id = 0.0;    ///< drain current magnitude [A]
+  double gm = 0.0;    ///< gate transconductance [S]
+  double gds = 0.0;   ///< output conductance [S]
+  double cgs = 0.0;   ///< gate-source capacitance [F]
+  double cds = 0.0;   ///< drain-source (junction) capacitance [F]
+  double ic = 0.0;    ///< inversion coefficient (forward normalized current)
+  Region region = Region::Off;
+  Conduction conduction = Conduction::Cutoff;
+};
+
+/// Drain current and its partial derivatives w.r.t. the three terminal
+/// voltages, for Newton-Raphson MNA stamping.  `id` is the signed current
+/// flowing into the drain terminal and out of the source terminal.
+struct DcEval {
+  double id = 0.0;
+  double di_dvg = 0.0;
+  double di_dvd = 0.0;
+  double di_dvs = 0.0;
+};
+
+/// Analytical EKV-style model for one device polarity.
+class MosModel {
+ public:
+  explicit MosModel(const MosParams& params) : p_(params) {}
+
+  const MosParams& params() const { return p_; }
+
+  /// Signed drain current + derivatives at absolute terminal voltages
+  /// (vg, vd, vs) for a device of width `w` and length `l` (meters).
+  DcEval dc(double vg, double vd, double vs, double w, double l) const;
+
+  /// Small-signal parameters at the same operating point.  All quantities are
+  /// magnitudes (positive), matching the LUT convention of the paper.
+  SmallSignal small_signal(double vg, double vd, double vs, double w, double l) const;
+
+  /// Source-referenced evaluation used by the LUT generator: vgs/vds are the
+  /// *polarity-normalized* gate-source and drain-source voltages (positive for
+  /// both NMOS and PMOS).  Equivalent to dc()/small_signal() with the PMOS
+  /// sign mapping already applied.
+  SmallSignal evaluate(double vgs, double vds, double w, double l) const;
+
+  /// Saturation voltage at the given normalized Vgs (EKV estimate).
+  double vdsat(double vgs, double l) const;
+
+ private:
+  // Normalized forward/reverse charge and current helpers.
+  struct CoreEval {
+    double id;       // signed, source-referenced [A]
+    double gm;       // dId/dVgs [S]
+    double gds;      // dId/dVds [S]
+    double i_f;      // forward inversion coefficient
+    double i_r;      // reverse inversion coefficient
+  };
+  CoreEval core(double vgs, double vds, double w, double l) const;
+
+  MosParams p_;
+};
+
+}  // namespace ota::device

@@ -1,0 +1,48 @@
+#include "device/technology.hpp"
+
+namespace ota::device {
+
+const char* to_string(MosType t) {
+  return t == MosType::Nmos ? "NMOS" : "PMOS";
+}
+
+Technology Technology::default65nm() {
+  Technology t;
+  t.vdd = 1.2;
+
+  t.nmos = MosParams{
+      .type = MosType::Nmos,
+      .vt0 = 0.35,
+      .n = 1.30,
+      .kp = 300e-6,
+      .lambda_l = 0.25e-6,  // lambda = 1.39 V^-1 at L = 180 nm (short channel)
+      .cox = 12e-3,         // 12 fF/um^2
+      .cov = 0.30e-9,       // 0.3 fF/um
+      .cj_w = 0.80e-9,      // 0.8 fF/um
+      .pb = 0.8,
+      .mj = 0.4,
+      .phi_t = 0.02585,
+  };
+
+  t.pmos = MosParams{
+      .type = MosType::Pmos,
+      .vt0 = 0.35,
+      .n = 1.35,
+      .kp = 110e-6,
+      .lambda_l = 0.22e-6,
+      .cox = 12e-3,
+      .cov = 0.30e-9,
+      .cj_w = 0.95e-9,
+      .pb = 0.8,
+      .mj = 0.4,
+      .phi_t = 0.02585,
+  };
+
+  // Region thresholds: classical EKV boundaries put moderate inversion at
+  // IC in [0.1, 10]; the data-generation filters use these directly.
+  t.weak_ic_max = 0.1;
+  t.strong_ic_min = 10.0;
+  return t;
+}
+
+}  // namespace ota::device

@@ -1,0 +1,43 @@
+// Technology parameter set standing in for the paper's 65 nm node.
+//
+// The numbers are chosen so that the three OTA topologies land in the
+// specification ranges of the paper's Table I (gains of 18-25 dB for the
+// single-stage OTAs at L = 180 nm, unity-gain frequencies of tens to hundreds
+// of MHz with a 500 fF load), not to match any proprietary PDK.
+#pragma once
+
+namespace ota::device {
+
+enum class MosType { Nmos, Pmos };
+
+const char* to_string(MosType t);
+
+/// Compact-model parameters for one polarity.
+struct MosParams {
+  MosType type;
+  double vt0;         ///< threshold voltage magnitude [V]
+  double n;           ///< subthreshold slope factor
+  double kp;          ///< mobility * Cox [A/V^2]
+  double lambda_l;    ///< channel-length-modulation coefficient [V^-1 * m]
+  double cox;         ///< gate oxide capacitance per area [F/m^2]
+  double cov;         ///< gate overlap capacitance per width [F/m]
+  double cj_w;        ///< drain junction capacitance per width [F/m]
+  double pb;          ///< junction built-in potential [V]
+  double mj;          ///< junction grading coefficient
+  double phi_t;       ///< thermal voltage kT/q [V]
+};
+
+/// Full technology: supply plus one parameter set per polarity, and the
+/// region-classification thresholds used by the data-generation filters.
+struct Technology {
+  double vdd;            ///< nominal supply [V]
+  MosParams nmos;
+  MosParams pmos;
+  double weak_ic_max;    ///< inversion coefficient below which a device is "weak"
+  double strong_ic_min;  ///< inversion coefficient above which a device is "strong"
+
+  /// The 65 nm-like default used throughout the experiments (Vdd = 1.2 V).
+  static Technology default65nm();
+};
+
+}  // namespace ota::device

@@ -1,0 +1,99 @@
+// LU factorization with partial pivoting and linear solves.
+//
+// Header-only template so the same code serves the real-valued Newton DC
+// Jacobian and the complex-valued AC system matrix.
+#pragma once
+
+#include <cmath>
+#include <complex>
+#include <numeric>
+#include <vector>
+
+#include "common/error.hpp"
+#include "linalg/matrix.hpp"
+
+namespace ota::linalg {
+
+namespace detail {
+inline double magnitude(double x) { return std::fabs(x); }
+inline double magnitude(const std::complex<double>& x) { return std::abs(x); }
+}  // namespace detail
+
+/// In-place LU decomposition of a square matrix with partial pivoting.
+/// Solve multiple right-hand sides against one factorization.
+template <typename T>
+class LuDecomposition {
+ public:
+  /// Factors `a`; throws ConvergenceError when the matrix is numerically
+  /// singular (pivot below `singular_tol` times the largest initial pivot).
+  explicit LuDecomposition(Matrix<T> a, double singular_tol = 1e-14)
+      : lu_(std::move(a)), perm_(lu_.rows()) {
+    const size_t n = lu_.rows();
+    if (lu_.cols() != n) throw InvalidArgument("LU: matrix must be square");
+    std::iota(perm_.begin(), perm_.end(), size_t{0});
+
+    double max_entry = 0.0;
+    for (size_t r = 0; r < n; ++r)
+      for (size_t c = 0; c < n; ++c)
+        max_entry = std::max(max_entry, detail::magnitude(lu_(r, c)));
+    if (max_entry == 0.0) throw ConvergenceError("LU: zero matrix");
+
+    for (size_t k = 0; k < n; ++k) {
+      // Partial pivot: pick the row with the largest magnitude in column k.
+      size_t pivot_row = k;
+      double pivot_mag = detail::magnitude(lu_(k, k));
+      for (size_t r = k + 1; r < n; ++r) {
+        double m = detail::magnitude(lu_(r, k));
+        if (m > pivot_mag) {
+          pivot_mag = m;
+          pivot_row = r;
+        }
+      }
+      if (pivot_mag < singular_tol * max_entry) {
+        throw ConvergenceError("LU: matrix is numerically singular");
+      }
+      if (pivot_row != k) {
+        for (size_t c = 0; c < n; ++c) std::swap(lu_(k, c), lu_(pivot_row, c));
+        std::swap(perm_[k], perm_[pivot_row]);
+      }
+      const T pivot = lu_(k, k);
+      for (size_t r = k + 1; r < n; ++r) {
+        const T factor = lu_(r, k) / pivot;
+        lu_(r, k) = factor;
+        for (size_t c = k + 1; c < n; ++c) lu_(r, c) -= factor * lu_(k, c);
+      }
+    }
+  }
+
+  /// Solves A x = b for the matrix given at construction.
+  std::vector<T> solve(const std::vector<T>& b) const {
+    const size_t n = lu_.rows();
+    if (b.size() != n) throw InvalidArgument("LU solve: rhs size mismatch");
+    std::vector<T> x(n);
+    // Forward substitution on the permuted RHS (L has implicit unit diagonal).
+    for (size_t r = 0; r < n; ++r) {
+      T acc = b[perm_[r]];
+      for (size_t c = 0; c < r; ++c) acc -= lu_(r, c) * x[c];
+      x[r] = acc;
+    }
+    // Back substitution through U.
+    for (size_t ri = n; ri-- > 0;) {
+      T acc = x[ri];
+      for (size_t c = ri + 1; c < n; ++c) acc -= lu_(ri, c) * x[c];
+      x[ri] = acc / lu_(ri, ri);
+    }
+    return x;
+  }
+
+ private:
+  Matrix<T> lu_;
+  std::vector<size_t> perm_;
+};
+
+/// One-shot convenience: solves A x = b.
+template <typename T>
+std::vector<T> solve(Matrix<T> a, const std::vector<T>& b) {
+  return LuDecomposition<T>(std::move(a)).solve(b);
+}
+
+}  // namespace ota::linalg

@@ -1,0 +1,98 @@
+#include "linalg/spline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ota::linalg {
+
+CubicSpline1D::CubicSpline1D(std::vector<double> x, std::vector<double> y)
+    : x_(std::move(x)), y_(std::move(y)) {
+  const size_t n = x_.size();
+  if (n < 2) throw InvalidArgument("CubicSpline1D: need at least two points");
+  if (y_.size() != n) throw InvalidArgument("CubicSpline1D: x/y size mismatch");
+  for (size_t i = 1; i < n; ++i) {
+    if (!(x_[i] > x_[i - 1])) {
+      throw InvalidArgument("CubicSpline1D: x must be strictly increasing");
+    }
+  }
+
+  // Solve the tridiagonal system for natural boundary conditions (m_0 = m_{n-1}
+  // = 0) with the Thomas algorithm.
+  m_.assign(n, 0.0);
+  if (n == 2) return;  // linear interpolation; second derivatives stay zero
+
+  std::vector<double> h(n - 1);
+  for (size_t i = 0; i + 1 < n; ++i) h[i] = x_[i + 1] - x_[i];
+
+  std::vector<double> diag(n - 2), rhs(n - 2), upper(n - 2);
+  for (size_t i = 1; i + 1 < n; ++i) {
+    diag[i - 1] = 2.0 * (h[i - 1] + h[i]);
+    rhs[i - 1] = 6.0 * ((y_[i + 1] - y_[i]) / h[i] - (y_[i] - y_[i - 1]) / h[i - 1]);
+    upper[i - 1] = h[i];
+  }
+  // Forward sweep.
+  for (size_t i = 1; i < diag.size(); ++i) {
+    const double w = h[i] / diag[i - 1];
+    diag[i] -= w * upper[i - 1];
+    rhs[i] -= w * rhs[i - 1];
+  }
+  // Back substitution into the interior second derivatives.
+  for (size_t ii = diag.size(); ii-- > 0;) {
+    double acc = rhs[ii];
+    if (ii + 1 < diag.size()) acc -= upper[ii] * m_[ii + 2];
+    m_[ii + 1] = acc / diag[ii];
+  }
+}
+
+size_t CubicSpline1D::segment(double x) const {
+  // Rightmost segment whose left knot is <= x; clamp to valid segment range.
+  auto it = std::upper_bound(x_.begin(), x_.end(), x);
+  if (it == x_.begin()) return 0;
+  size_t idx = static_cast<size_t>(it - x_.begin()) - 1;
+  return std::min(idx, x_.size() - 2);
+}
+
+double CubicSpline1D::operator()(double x) const {
+  if (x_.empty()) throw InternalError("CubicSpline1D: evaluating empty spline");
+  const size_t i = segment(x);
+  const double h = x_[i + 1] - x_[i];
+  const double a = (x_[i + 1] - x) / h;
+  const double b = (x - x_[i]) / h;
+  return a * y_[i] + b * y_[i + 1] +
+         ((a * a * a - a) * m_[i] + (b * b * b - b) * m_[i + 1]) * h * h / 6.0;
+}
+
+double CubicSpline1D::derivative(double x) const {
+  if (x_.empty()) throw InternalError("CubicSpline1D: evaluating empty spline");
+  const size_t i = segment(x);
+  const double h = x_[i + 1] - x_[i];
+  const double a = (x_[i + 1] - x) / h;
+  const double b = (x - x_[i]) / h;
+  return (y_[i + 1] - y_[i]) / h +
+         ((3.0 * b * b - 1.0) * m_[i + 1] - (3.0 * a * a - 1.0) * m_[i]) * h / 6.0;
+}
+
+BicubicSpline::BicubicSpline(std::vector<double> x, std::vector<double> y,
+                             Matrix<double> z)
+    : x_(std::move(x)), y_(std::move(y)) {
+  if (z.rows() != x_.size() || z.cols() != y_.size()) {
+    throw InvalidArgument("BicubicSpline: grid size mismatch");
+  }
+  row_splines_.reserve(x_.size());
+  for (size_t i = 0; i < x_.size(); ++i) {
+    std::vector<double> row(y_.size());
+    for (size_t j = 0; j < y_.size(); ++j) row[j] = z(i, j);
+    row_splines_.emplace_back(y_, std::move(row));
+  }
+}
+
+double BicubicSpline::operator()(double x, double y) const {
+  if (x_.empty()) throw InternalError("BicubicSpline: evaluating empty spline");
+  x = std::clamp(x, x_.front(), x_.back());
+  y = std::clamp(y, y_.front(), y_.back());
+  std::vector<double> column(x_.size());
+  for (size_t i = 0; i < x_.size(); ++i) column[i] = row_splines_[i](y);
+  return CubicSpline1D(x_, std::move(column))(x);
+}
+
+}  // namespace ota::linalg

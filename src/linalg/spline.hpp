@@ -1,0 +1,66 @@
+// Cubic-spline interpolation for the precomputed device LUTs.
+//
+// The paper stores LUT samples on a coarse 60 mV grid and relies on cubic
+// spline interpolation for intermediate bias points (Section III-D.1).
+// CubicSpline1D implements the classical natural cubic spline; BicubicSpline
+// applies it as a tensor product over a rectangular (Vgs, Vds) grid.
+#pragma once
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "linalg/matrix.hpp"
+
+namespace ota::linalg {
+
+/// Natural cubic spline through (x_i, y_i) with strictly increasing x.
+class CubicSpline1D {
+ public:
+  CubicSpline1D() = default;
+
+  /// Builds the spline; requires at least two points and strictly increasing x.
+  CubicSpline1D(std::vector<double> x, std::vector<double> y);
+
+  /// Evaluates the spline at `x`.  Outside the knot range the boundary cubic
+  /// is extrapolated (callers clamp when extrapolation is not wanted).
+  double operator()(double x) const;
+
+  /// First derivative of the spline at `x`.
+  double derivative(double x) const;
+
+  const std::vector<double>& knots() const { return x_; }
+  bool empty() const { return x_.empty(); }
+
+ private:
+  size_t segment(double x) const;
+
+  std::vector<double> x_;
+  std::vector<double> y_;
+  std::vector<double> m_;  // second derivatives at the knots
+};
+
+/// Tensor-product cubic spline over a rectangular grid: z = f(x, y).
+/// Construction precomputes one spline per grid row; evaluation splines the
+/// row values at the query x, then splines those results along y.
+class BicubicSpline {
+ public:
+  BicubicSpline() = default;
+
+  /// `z(i, j)` is the sample at (x[i], y[j]).  Both axes strictly increasing.
+  BicubicSpline(std::vector<double> x, std::vector<double> y, Matrix<double> z);
+
+  /// Interpolated value at (x, y), clamped to the grid's bounding box.
+  double operator()(double x, double y) const;
+
+  const std::vector<double>& x_knots() const { return x_; }
+  const std::vector<double>& y_knots() const { return y_; }
+  bool empty() const { return x_.empty(); }
+
+ private:
+  std::vector<double> x_;
+  std::vector<double> y_;
+  // One spline along y for each grid x; the final pass splines along x.
+  std::vector<CubicSpline1D> row_splines_;
+};
+
+}  // namespace ota::linalg

@@ -1,0 +1,62 @@
+#include "linalg/stats.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ota::linalg {
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) throw InvalidArgument("mean: empty sample");
+  double acc = 0.0;
+  for (double x : xs) acc += x;
+  return acc / static_cast<double>(xs.size());
+}
+
+double stddev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double mu = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - mu) * (x - mu);
+  return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+double pearson(const std::vector<double>& xs, const std::vector<double>& ys) {
+  if (xs.size() != ys.size()) throw InvalidArgument("pearson: size mismatch");
+  if (xs.size() < 2) throw InvalidArgument("pearson: need at least two points");
+  const double mx = mean(xs), my = mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx, dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double rmse(const std::vector<double>& pred, const std::vector<double>& ref) {
+  if (pred.size() != ref.size()) throw InvalidArgument("rmse: size mismatch");
+  if (pred.empty()) throw InvalidArgument("rmse: empty sample");
+  double acc = 0.0;
+  for (size_t i = 0; i < pred.size(); ++i) {
+    const double d = pred[i] - ref[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(pred.size()));
+}
+
+double mape(const std::vector<double>& pred, const std::vector<double>& ref) {
+  if (pred.size() != ref.size()) throw InvalidArgument("mape: size mismatch");
+  double acc = 0.0;
+  size_t n = 0;
+  for (size_t i = 0; i < pred.size(); ++i) {
+    if (ref[i] == 0.0) continue;
+    acc += std::fabs((pred[i] - ref[i]) / ref[i]);
+    ++n;
+  }
+  return n == 0 ? 0.0 : acc / static_cast<double>(n);
+}
+
+}  // namespace ota::linalg

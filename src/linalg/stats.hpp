@@ -1,0 +1,26 @@
+// Statistics used by the evaluation harness.
+//
+// Tables II/IV/VI of the paper report Pearson correlation coefficients between
+// transformer-predicted and SPICE-measured device parameters; the benchmark
+// harness reuses these helpers for every topology.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ota::linalg {
+
+double mean(const std::vector<double>& xs);
+double stddev(const std::vector<double>& xs);
+
+/// Pearson correlation coefficient r of two equally sized samples.
+/// Returns 0 when either sample is constant (correlation undefined).
+double pearson(const std::vector<double>& xs, const std::vector<double>& ys);
+
+/// Root-mean-square error between predictions and references.
+double rmse(const std::vector<double>& pred, const std::vector<double>& ref);
+
+/// Mean absolute percentage error (references of zero are skipped).
+double mape(const std::vector<double>& pred, const std::vector<double>& ref);
+
+}  // namespace ota::linalg

@@ -1,0 +1,102 @@
+#include "lut/device_lut.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ota::lut {
+
+DeviceLut::DeviceLut(const device::MosModel& model, const LutOptions& opt)
+    : opt_(opt) {
+  if (opt.v_step <= 0 || opt.v_max <= opt.v_min) {
+    throw InvalidArgument("DeviceLut: bad grid options");
+  }
+  // Index-based generation avoids floating-point accumulation drifting the
+  // last knot past v_max.
+  const int count = static_cast<int>(std::round((opt.v_max - opt.v_min) / opt.v_step)) + 1;
+  for (int i = 0; i < count; ++i) {
+    vgs_.push_back(std::min(opt.v_min + i * opt.v_step, opt.v_max));
+  }
+  vds_ = vgs_;
+
+  const size_t n = vgs_.size(), m = vds_.size();
+  g_id_.reset(n, m);
+  g_gm_.reset(n, m);
+  g_gds_.reset(n, m);
+  g_cds_.reset(n, m);
+  g_cgs_.reset(n, m);
+
+  // Nested DC sweep at the reference width; store per-unit-width values.
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < m; ++j) {
+      const device::SmallSignal ss =
+          model.evaluate(vgs_[i], vds_[j], opt.wref, opt.l);
+      g_id_(i, j) = ss.id / opt.wref;
+      g_gm_(i, j) = ss.gm / opt.wref;
+      g_gds_(i, j) = ss.gds / opt.wref;
+      g_cds_(i, j) = ss.cds / opt.wref;
+      g_cgs_(i, j) = ss.cgs / opt.wref;
+    }
+  }
+
+  s_id_ = linalg::BicubicSpline(vgs_, vds_, g_id_);
+  s_gm_ = linalg::BicubicSpline(vgs_, vds_, g_gm_);
+  s_gds_ = linalg::BicubicSpline(vgs_, vds_, g_gds_);
+  s_cds_ = linalg::BicubicSpline(vgs_, vds_, g_cds_);
+  s_cgs_ = linalg::BicubicSpline(vgs_, vds_, g_cgs_);
+}
+
+LutEntry DeviceLut::lookup(double vgs, double vds) const {
+  LutEntry e;
+  e.id = s_id_(vgs, vds);
+  e.gm = s_gm_(vgs, vds);
+  e.gds = s_gds_(vgs, vds);
+  e.cds = s_cds_(vgs, vds);
+  e.cgs = s_cgs_(vgs, vds);
+  return e;
+}
+
+LutEntry DeviceLut::grid_entry(size_t i_vgs, size_t i_vds) const {
+  LutEntry e;
+  e.id = g_id_(i_vgs, i_vds);
+  e.gm = g_gm_(i_vgs, i_vds);
+  e.gds = g_gds_(i_vgs, i_vds);
+  e.cds = g_cds_(i_vgs, i_vds);
+  e.cgs = g_cgs_(i_vgs, i_vds);
+  return e;
+}
+
+std::pair<double, double> DeviceLut::gmid_range(double vds) const {
+  // gm/Id decreases with Vgs, so the extremes sit at the grid ends.  Guard
+  // against the near-zero current at the lowest Vgs with a floor.
+  const LutEntry lo = lookup(vgs_.front(), vds);
+  const LutEntry hi = lookup(vgs_.back(), vds);
+  const double max_gmid = lo.id > 0 ? lo.gm / lo.id : 0.0;
+  const double min_gmid = hi.id > 0 ? hi.gm / hi.id : 0.0;
+  return {min_gmid, max_gmid};
+}
+
+std::optional<double> DeviceLut::find_vgs_for_gmid(double gmid, double vds) const {
+  if (gmid <= 0) return std::nullopt;
+  const auto [lo_gmid, hi_gmid] = gmid_range(vds);
+  if (gmid < lo_gmid * (1 - 1e-9) || gmid > hi_gmid * (1 + 1e-9)) {
+    return std::nullopt;
+  }
+  // Bisection on the monotone map Vgs -> gm/Id.
+  double lo = vgs_.front(), hi = vgs_.back();
+  for (int it = 0; it < 100; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    const LutEntry e = lookup(mid, vds);
+    const double g = e.id > 0 ? e.gm / e.id : 1e30;
+    if (g > gmid) {
+      lo = mid;  // too weak: move toward stronger inversion
+    } else {
+      hi = mid;
+    }
+    if (hi - lo < 1e-9) break;
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace ota::lut

@@ -1,0 +1,68 @@
+#include "ml/adam.hpp"
+
+#include <cmath>
+
+namespace ota::ml {
+
+Adam::Adam(std::vector<Var> params, const AdamOptions& opt)
+    : params_(std::move(params)), opt_(opt) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& p : params_) {
+    m_.emplace_back(p->value.rows(), p->value.cols());
+    v_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  // Global-norm gradient clipping across all parameters.
+  double scale_factor = 1.0;
+  if (opt_.grad_clip > 0.0) {
+    double total = 0.0;
+    for (const auto& p : params_) {
+      if (!p->grad.same_shape(p->value)) continue;
+      for (double g : p->grad.data()) total += g * g;
+    }
+    const double norm = std::sqrt(total);
+    if (norm > opt_.grad_clip) scale_factor = opt_.grad_clip / norm;
+  }
+
+  const double bc1 = 1.0 - std::pow(opt_.beta1, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(opt_.beta2, static_cast<double>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Node& p = *params_[i];
+    if (!p.grad.same_shape(p.value)) continue;  // parameter unused this step
+    Tensor& m = m_[i];
+    Tensor& v = v_[i];
+    for (int64_t k = 0; k < p.value.size(); ++k) {
+      const double g = p.grad.at(k) * scale_factor;
+      m.at(k) = opt_.beta1 * m.at(k) + (1.0 - opt_.beta1) * g;
+      v.at(k) = opt_.beta2 * v.at(k) + (1.0 - opt_.beta2) * g * g;
+      const double mhat = m.at(k) / bc1;
+      const double vhat = v.at(k) / bc2;
+      p.value.at(k) -= opt_.lr * mhat / (std::sqrt(vhat) + opt_.eps);
+    }
+  }
+  zero_grad();
+}
+
+void Adam::zero_grad() {
+  for (const auto& p : params_) {
+    if (p->grad.same_shape(p->value)) p->grad.zero();
+  }
+}
+
+void Adam::observe_loss(double loss) {
+  if (loss < best_loss_ - 1e-6) {
+    best_loss_ = loss;
+    stall_ = 0;
+    return;
+  }
+  if (++stall_ >= opt_.patience) {
+    opt_.lr = std::max(opt_.lr * opt_.decay_factor, opt_.min_lr);
+    stall_ = 0;
+  }
+}
+
+}  // namespace ota::ml

@@ -1,0 +1,48 @@
+// Adam optimizer (paper Section IV-B: Adam with an adaptive learning rate,
+// initial 1e-4) with optional gradient clipping and a plateau-based decay.
+#pragma once
+
+#include <vector>
+
+#include "ml/autograd.hpp"
+
+namespace ota::ml {
+
+struct AdamOptions {
+  double lr = 1e-4;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double eps = 1e-8;
+  double grad_clip = 1.0;   ///< global-norm clip; <= 0 disables
+  double decay_factor = 0.5;  ///< multiplied into lr on plateau
+  int patience = 2;           ///< epochs without improvement before decay
+  double min_lr = 1e-6;
+};
+
+class Adam {
+ public:
+  Adam(std::vector<Var> params, const AdamOptions& opt = {});
+
+  /// Applies one update from the accumulated gradients, then zeroes them.
+  void step();
+
+  /// Zeroes gradients without stepping.
+  void zero_grad();
+
+  /// Plateau-based adaptive learning rate: call once per epoch with the
+  /// validation (or training) loss; decays lr after `patience` stalls.
+  void observe_loss(double loss);
+
+  double learning_rate() const { return opt_.lr; }
+  int64_t steps_taken() const { return t_; }
+
+ private:
+  std::vector<Var> params_;
+  AdamOptions opt_;
+  std::vector<Tensor> m_, v_;
+  int64_t t_ = 0;
+  double best_loss_ = 1e300;
+  int stall_ = 0;
+};
+
+}  // namespace ota::ml

@@ -1,0 +1,67 @@
+#include "ml/autograd.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace ota::ml {
+
+Tensor& Node::ensure_grad() {
+  if (!grad.same_shape(value)) {
+    grad = Tensor(value.rows(), value.cols());
+  }
+  return grad;
+}
+
+Var parameter(Tensor value) {
+  auto n = std::make_shared<Node>(std::move(value));
+  n->requires_grad = true;
+  return n;
+}
+
+Var constant(Tensor value) {
+  return std::make_shared<Node>(std::move(value));
+}
+
+Var make_node(Tensor value, std::vector<Var> parents,
+              std::function<void(Node&)> backward_fn) {
+  auto n = std::make_shared<Node>(std::move(value));
+  n->requires_grad = std::any_of(parents.begin(), parents.end(),
+                                 [](const Var& p) { return p->requires_grad; });
+  if (n->requires_grad) {
+    n->parents = std::move(parents);
+    n->backward_fn = std::move(backward_fn);
+  }
+  return n;
+}
+
+void backward(const Var& root) {
+  if (root->value.size() != 1) {
+    throw InvalidArgument("backward: root must be a scalar");
+  }
+  // Topological order by iterative DFS.
+  std::vector<Node*> order;
+  std::set<Node*> visited;
+  std::vector<std::pair<Node*, size_t>> stack{{root.get(), 0}};
+  visited.insert(root.get());
+  while (!stack.empty()) {
+    auto& [node, next] = stack.back();
+    if (next < node->parents.size()) {
+      Node* parent = node->parents[next].get();
+      ++next;
+      if (parent->requires_grad && visited.insert(parent).second) {
+        stack.emplace_back(parent, 0);
+      }
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+  // order is child-after-parents; traverse in reverse (root first).
+  root->ensure_grad().fill(1.0);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node* n = *it;
+    if (n->backward_fn) n->backward_fn(*n);
+  }
+}
+
+}  // namespace ota::ml

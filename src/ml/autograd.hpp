@@ -1,0 +1,46 @@
+// Tape-free reverse-mode autograd over Tensor.
+//
+// Every operation builds a Node holding its output value, its parents, and a
+// closure that routes the output gradient into the parents' gradients.
+// backward() runs the closures in reverse topological order.  Ops live in
+// ml/ops.hpp; this header is only the graph machinery.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "ml/tensor.hpp"
+
+namespace ota::ml {
+
+struct Node;
+using Var = std::shared_ptr<Node>;
+
+struct Node {
+  Tensor value;
+  Tensor grad;                 ///< allocated lazily, same shape as value
+  std::vector<Var> parents;
+  std::function<void(Node&)> backward_fn;  ///< routes grad into parents
+  bool requires_grad = false;
+
+  explicit Node(Tensor v) : value(std::move(v)) {}
+
+  /// Ensures grad exists (zero-filled) and returns it.
+  Tensor& ensure_grad();
+};
+
+/// Leaf with gradient tracking (model weights).
+Var parameter(Tensor value);
+/// Leaf without gradient (inputs, masks, positional tables).
+Var constant(Tensor value);
+
+/// Runs reverse-mode accumulation from a scalar (1x1) root.
+void backward(const Var& root);
+
+/// Internal helper for op implementations: builds a node whose
+/// requires_grad is the OR of its parents'.
+Var make_node(Tensor value, std::vector<Var> parents,
+              std::function<void(Node&)> backward_fn);
+
+}  // namespace ota::ml

@@ -1,0 +1,145 @@
+#include "ml/layers.hpp"
+
+#include <cmath>
+
+namespace ota::ml {
+
+Var ParameterRegistry::track(Var p, const std::string& name) {
+  params_.push_back(p);
+  names_.push_back(name);
+  return p;
+}
+
+Linear::Linear(int64_t in, int64_t out, Rng& rng, ParameterRegistry& reg,
+               const std::string& name) {
+  w_ = reg.track(parameter(Tensor::xavier(in, out, rng)), name + ".w");
+  b_ = reg.track(parameter(Tensor(1, out)), name + ".b");
+}
+
+Var Linear::forward(const Var& x) const { return add_bias(matmul(x, w_), b_); }
+
+PositionalEncoding::PositionalEncoding(int64_t max_len, int64_t d_model)
+    : table_(max_len, d_model) {
+  // PE(pos, 2i) = sin(pos / 10000^(2i/d)); PE(pos, 2i+1) = cos(...).
+  for (int64_t pos = 0; pos < max_len; ++pos) {
+    for (int64_t i = 0; i < d_model; ++i) {
+      const double angle =
+          pos / std::pow(10000.0, 2.0 * static_cast<double>(i / 2) / static_cast<double>(d_model));
+      table_(pos, i) = (i % 2 == 0) ? std::sin(angle) : std::cos(angle);
+    }
+  }
+}
+
+Var PositionalEncoding::forward(const Var& x) const {
+  const int64_t len = x->value.rows();
+  if (len > table_.rows()) {
+    throw InvalidArgument("PositionalEncoding: sequence longer than max_len");
+  }
+  Tensor pos(len, x->value.cols());
+  for (int64_t r = 0; r < len; ++r) {
+    for (int64_t c = 0; c < pos.cols(); ++c) pos(r, c) = table_(r, c);
+  }
+  return add(x, constant(std::move(pos)));
+}
+
+MultiHeadAttention::MultiHeadAttention(int64_t d_model, int64_t n_heads,
+                                       Rng& rng, ParameterRegistry& reg,
+                                       const std::string& name) {
+  if (d_model % n_heads != 0) {
+    throw InvalidArgument("MultiHeadAttention: d_model must divide by heads");
+  }
+  d_head_ = d_model / n_heads;
+  heads_.resize(static_cast<size_t>(n_heads));
+  for (int64_t h = 0; h < n_heads; ++h) {
+    const std::string hn = name + ".h" + std::to_string(h);
+    heads_[static_cast<size_t>(h)].wq =
+        reg.track(parameter(Tensor::xavier(d_model, d_head_, rng)), hn + ".wq");
+    heads_[static_cast<size_t>(h)].wk =
+        reg.track(parameter(Tensor::xavier(d_model, d_head_, rng)), hn + ".wk");
+    heads_[static_cast<size_t>(h)].wv =
+        reg.track(parameter(Tensor::xavier(d_model, d_head_, rng)), hn + ".wv");
+  }
+  wo_ = reg.track(parameter(Tensor::xavier(d_model, d_model, rng)), name + ".wo");
+  bo_ = reg.track(parameter(Tensor(1, d_model)), name + ".bo");
+}
+
+Var MultiHeadAttention::forward(const Var& query, const Var& key_value,
+                                bool causal, double dropout_p, bool training,
+                                Rng& rng) const {
+  std::vector<Var> outputs;
+  outputs.reserve(heads_.size());
+  const double inv_sqrt_dk = 1.0 / std::sqrt(static_cast<double>(d_head_));
+  for (const Head& h : heads_) {
+    const Var q = matmul(query, h.wq);
+    const Var k = matmul(key_value, h.wk);
+    const Var v = matmul(key_value, h.wv);
+    Var scores = scale(matmul_nt(q, k), inv_sqrt_dk);
+    if (causal) scores = causal_mask(scores);
+    Var attn = softmax_rows(scores);
+    attn = dropout(attn, dropout_p, training, rng);
+    outputs.push_back(matmul(attn, v));
+  }
+  return add_bias(matmul(concat_cols(outputs), wo_), bo_);
+}
+
+FeedForward::FeedForward(int64_t d_model, int64_t d_ff, Rng& rng,
+                         ParameterRegistry& reg, const std::string& name)
+    : in_(d_model, d_ff, rng, reg, name + ".in"),
+      out_(d_ff, d_model, rng, reg, name + ".out") {}
+
+Var FeedForward::forward(const Var& x, double dropout_p, bool training,
+                         Rng& rng) const {
+  Var h = relu(in_.forward(x));
+  h = dropout(h, dropout_p, training, rng);
+  h = out_.forward(h);
+  return dropout(h, dropout_p, training, rng);
+}
+
+LayerNormParams::LayerNormParams(int64_t d_model, ParameterRegistry& reg,
+                                 const std::string& name) {
+  gamma_ = reg.track(parameter(Tensor(1, d_model, 1.0)), name + ".gamma");
+  beta_ = reg.track(parameter(Tensor(1, d_model)), name + ".beta");
+}
+
+Var LayerNormParams::forward(const Var& x) const {
+  return layer_norm(x, gamma_, beta_);
+}
+
+EncoderLayer::EncoderLayer(int64_t d_model, int64_t n_heads, int64_t d_ff,
+                           Rng& rng, ParameterRegistry& reg,
+                           const std::string& name)
+    : self_attn_(d_model, n_heads, rng, reg, name + ".self"),
+      ffn_(d_model, d_ff, rng, reg, name + ".ffn"),
+      norm1_(d_model, reg, name + ".norm1"),
+      norm2_(d_model, reg, name + ".norm2") {}
+
+Var EncoderLayer::forward(const Var& x, double dropout_p, bool training,
+                          Rng& rng) const {
+  // Post-norm residuals as in the original architecture (paper Fig. 1).
+  Var attn = self_attn_.forward(x, x, /*causal=*/false, dropout_p, training, rng);
+  Var h = norm1_.forward(add(x, dropout(attn, dropout_p, training, rng)));
+  Var ff = ffn_.forward(h, dropout_p, training, rng);
+  return norm2_.forward(add(h, ff));
+}
+
+DecoderLayer::DecoderLayer(int64_t d_model, int64_t n_heads, int64_t d_ff,
+                           Rng& rng, ParameterRegistry& reg,
+                           const std::string& name)
+    : self_attn_(d_model, n_heads, rng, reg, name + ".self"),
+      cross_attn_(d_model, n_heads, rng, reg, name + ".cross"),
+      ffn_(d_model, d_ff, rng, reg, name + ".ffn"),
+      norm1_(d_model, reg, name + ".norm1"),
+      norm2_(d_model, reg, name + ".norm2"),
+      norm3_(d_model, reg, name + ".norm3") {}
+
+Var DecoderLayer::forward(const Var& x, const Var& memory, double dropout_p,
+                          bool training, Rng& rng) const {
+  Var self = self_attn_.forward(x, x, /*causal=*/true, dropout_p, training, rng);
+  Var h = norm1_.forward(add(x, dropout(self, dropout_p, training, rng)));
+  Var cross = cross_attn_.forward(h, memory, /*causal=*/false, dropout_p, training, rng);
+  h = norm2_.forward(add(h, dropout(cross, dropout_p, training, rng)));
+  Var ff = ffn_.forward(h, dropout_p, training, rng);
+  return norm3_.forward(add(h, ff));
+}
+
+}  // namespace ota::ml

@@ -1,0 +1,90 @@
+#include "ml/tensor.hpp"
+
+#include <cmath>
+
+namespace ota::ml {
+
+Tensor Tensor::xavier(int64_t rows, int64_t cols, Rng& rng) {
+  Tensor t(rows, cols);
+  const double bound = std::sqrt(6.0 / static_cast<double>(rows + cols));
+  for (auto& v : t.data()) v = rng.uniform(-bound, bound);
+  return t;
+}
+
+double Tensor::norm() const {
+  double acc = 0.0;
+  for (double v : data_) acc += v * v;
+  return std::sqrt(acc);
+}
+
+namespace {
+
+enum class Mode { NN, NT, TN };
+
+// One blocked kernel serving all three transpose modes, with an accumulate
+// flag.  Loop order ikj keeps the innermost loop contiguous for NN.
+template <Mode M, bool Acc>
+void gemm(const Tensor& a, const Tensor& b, Tensor& c) {
+  const int64_t m = M == Mode::TN ? a.cols() : a.rows();
+  const int64_t k = M == Mode::TN ? a.rows() : a.cols();
+  const int64_t n = M == Mode::NT ? b.rows() : b.cols();
+  const int64_t bk = M == Mode::NT ? b.cols() : b.rows();
+  if (k != bk) throw InvalidArgument("matmul: inner dimension mismatch");
+  if constexpr (Acc) {
+    if (c.rows() != m || c.cols() != n) {
+      throw InvalidArgument("matmul: output shape mismatch");
+    }
+  } else {
+    if (c.rows() != m || c.cols() != n) c = Tensor(m, n);
+    c.zero();
+  }
+
+  if constexpr (M == Mode::NN) {
+    for (int64_t i = 0; i < m; ++i) {
+      for (int64_t p = 0; p < k; ++p) {
+        const double av = a(i, p);
+        if (av == 0.0) continue;
+        for (int64_t j = 0; j < n; ++j) c(i, j) += av * b(p, j);
+      }
+    }
+  } else if constexpr (M == Mode::NT) {
+    for (int64_t i = 0; i < m; ++i) {
+      for (int64_t j = 0; j < n; ++j) {
+        double acc = 0.0;
+        for (int64_t p = 0; p < k; ++p) acc += a(i, p) * b(j, p);
+        c(i, j) += acc;
+      }
+    }
+  } else {  // TN
+    for (int64_t p = 0; p < k; ++p) {
+      for (int64_t i = 0; i < m; ++i) {
+        const double av = a(p, i);
+        if (av == 0.0) continue;
+        for (int64_t j = 0; j < n; ++j) c(i, j) += av * b(p, j);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void matmul_into(const Tensor& a, const Tensor& b, Tensor& c) {
+  gemm<Mode::NN, false>(a, b, c);
+}
+void matmul_nt_into(const Tensor& a, const Tensor& b, Tensor& c) {
+  gemm<Mode::NT, false>(a, b, c);
+}
+void matmul_tn_into(const Tensor& a, const Tensor& b, Tensor& c) {
+  gemm<Mode::TN, false>(a, b, c);
+}
+void matmul_acc(const Tensor& a, const Tensor& b, Tensor& c) {
+  gemm<Mode::NN, true>(a, b, c);
+}
+void matmul_nt_acc(const Tensor& a, const Tensor& b, Tensor& c) {
+  gemm<Mode::NT, true>(a, b, c);
+}
+void matmul_tn_acc(const Tensor& a, const Tensor& b, Tensor& c) {
+  gemm<Mode::TN, true>(a, b, c);
+}
+
+}  // namespace ota::ml

@@ -1,0 +1,72 @@
+// Minimal dense tensor for the from-scratch transformer.
+//
+// The transformer here works on 2-D row-major matrices (sequence length x
+// feature) plus 1-D vectors; double precision keeps finite-difference
+// gradient checks tight and training deterministic across platforms.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace ota::ml {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  Tensor(int64_t rows, int64_t cols, double init = 0.0)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<size_t>(rows * cols), init) {
+    if (rows <= 0 || cols <= 0) throw InvalidArgument("Tensor: bad shape");
+  }
+
+  static Tensor vector(int64_t n, double init = 0.0) { return Tensor(1, n, init); }
+
+  /// Xavier/Glorot uniform initialization for weight matrices.
+  static Tensor xavier(int64_t rows, int64_t cols, Rng& rng);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t size() const { return rows_ * cols_; }
+  bool same_shape(const Tensor& o) const {
+    return rows_ == o.rows_ && cols_ == o.cols_;
+  }
+
+  double& operator()(int64_t r, int64_t c) {
+    return data_[static_cast<size_t>(r * cols_ + c)];
+  }
+  double operator()(int64_t r, int64_t c) const {
+    return data_[static_cast<size_t>(r * cols_ + c)];
+  }
+  double& at(int64_t i) { return data_[static_cast<size_t>(i)]; }
+  double at(int64_t i) const { return data_[static_cast<size_t>(i)]; }
+
+  std::vector<double>& data() { return data_; }
+  const std::vector<double>& data() const { return data_; }
+
+  void fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+  void zero() { fill(0.0); }
+
+  /// Frobenius norm, for gradient clipping.
+  double norm() const;
+
+ private:
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// C = A * B (inner dimensions must agree).
+void matmul_into(const Tensor& a, const Tensor& b, Tensor& c);
+/// C = A * B^T.
+void matmul_nt_into(const Tensor& a, const Tensor& b, Tensor& c);
+/// C = A^T * B.
+void matmul_tn_into(const Tensor& a, const Tensor& b, Tensor& c);
+/// C += A * B, C += A * B^T, C += A^T * B (accumulating variants).
+void matmul_acc(const Tensor& a, const Tensor& b, Tensor& c);
+void matmul_nt_acc(const Tensor& a, const Tensor& b, Tensor& c);
+void matmul_tn_acc(const Tensor& a, const Tensor& b, Tensor& c);
+
+}  // namespace ota::ml

@@ -1,0 +1,232 @@
+#include "nlp/bpe.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace ota::nlp {
+
+namespace {
+
+// One piece of a word during training/encoding.  `atomic` marks characters of
+// numeric *values*, which the paper keeps as character-level tokens: they
+// never merge with anything.  Digits inside identifiers (the "1" of "P1") are
+// not atomic and merge freely.
+struct Piece {
+  std::string text;
+  bool atomic = false;
+};
+
+// A word under training: its current piece decomposition and corpus count.
+struct Word {
+  std::vector<Piece> pieces;
+  long count = 0;
+};
+
+bool is_upper(char c) { return c >= 'A' && c <= 'Z'; }
+bool is_digit(char c) { return c >= '0' && c <= '9'; }
+
+// Splits a word into single-character pieces with value-digit protection.
+// A digit is part of an identifier (unprotected) when it directly follows an
+// uppercase letter or another identifier digit ("M0", "P1", "M10"); any other
+// digit or '.' spells out a numeric value and is atomic.
+std::vector<Piece> chars_of(const std::string& word, bool protect) {
+  std::vector<Piece> out;
+  out.reserve(word.size());
+  bool prev_identifier_digit = false;
+  for (size_t i = 0; i < word.size(); ++i) {
+    const char c = word[i];
+    bool atomic = false;
+    if (protect && (is_digit(c) || c == '.')) {
+      const bool identifier_context =
+          is_digit(c) && i > 0 &&
+          (is_upper(word[i - 1]) || (is_digit(word[i - 1]) && prev_identifier_digit));
+      atomic = !identifier_context;
+      prev_identifier_digit = is_digit(c) && !atomic;
+    } else {
+      prev_identifier_digit = false;
+    }
+    out.push_back(Piece{std::string(1, c), atomic});
+  }
+  return out;
+}
+
+// Applies one learned merge to a piece sequence (atomic pieces never merge).
+void apply_merge(std::vector<Piece>& pieces, const std::string& left,
+                 const std::string& right) {
+  std::vector<Piece> merged;
+  merged.reserve(pieces.size());
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i + 1 < pieces.size() && !pieces[i].atomic && !pieces[i + 1].atomic &&
+        pieces[i].text == left && pieces[i + 1].text == right) {
+      merged.push_back(Piece{left + right, false});
+      ++i;
+    } else {
+      merged.push_back(pieces[i]);
+    }
+  }
+  pieces = std::move(merged);
+}
+
+}  // namespace
+
+std::vector<std::string> char_tokens(const std::string& text) {
+  std::vector<std::string> out;
+  out.reserve(text.size());
+  for (char c : text) out.emplace_back(1, c);
+  return out;
+}
+
+BpeTokenizer BpeTokenizer::train(const std::vector<std::string>& corpus,
+                                 const BpeOptions& opt) {
+  BpeTokenizer tok;
+  tok.opt_ = opt;
+
+  // Collect unique words with counts; training operates on word types.
+  std::map<std::string, long> word_counts;
+  for (const auto& line : corpus) {
+    for (const auto& w : split(line, " ")) ++word_counts[w];
+  }
+  std::vector<Word> words;
+  words.reserve(word_counts.size());
+  for (const auto& [text, count] : word_counts) {
+    words.push_back(Word{chars_of(text, opt.protect_numeric), count});
+  }
+
+  // Seed vocabulary with every character (plus the space separator) so
+  // encoding never produces <unk> on training-like text.
+  tok.vocab_.add(" ");
+  for (const auto& w : words) {
+    for (const auto& p : w.pieces) tok.vocab_.add(p.text);
+  }
+
+  for (int merge_round = 0; merge_round < opt.num_merges; ++merge_round) {
+    // Count adjacent mergeable pairs across all words.
+    std::map<std::pair<std::string, std::string>, long> pair_counts;
+    for (const auto& w : words) {
+      for (size_t i = 0; i + 1 < w.pieces.size(); ++i) {
+        if (w.pieces[i].atomic || w.pieces[i + 1].atomic) continue;
+        pair_counts[{w.pieces[i].text, w.pieces[i + 1].text}] += w.count;
+      }
+    }
+    if (pair_counts.empty()) break;
+
+    // Most frequent pair; std::map iteration gives deterministic tie-breaks.
+    auto best = pair_counts.begin();
+    for (auto it = pair_counts.begin(); it != pair_counts.end(); ++it) {
+      if (it->second > best->second) best = it;
+    }
+    if (best->second < opt.min_pair_count) break;
+
+    const auto [left, right] = best->first;
+    tok.merges_.emplace_back(left, right);
+    tok.vocab_.add(left + right);
+    for (auto& w : words) apply_merge(w.pieces, left, right);
+  }
+  return tok;
+}
+
+std::vector<std::string> BpeTokenizer::word_pieces(const std::string& word) const {
+  std::vector<Piece> pieces = chars_of(word, opt_.protect_numeric);
+  // Apply merges in learned order (merge priority = training order).
+  for (const auto& [left, right] : merges_) {
+    if (pieces.size() < 2) break;
+    apply_merge(pieces, left, right);
+  }
+  std::vector<std::string> out;
+  out.reserve(pieces.size());
+  for (const auto& p : pieces) out.push_back(p.text);
+  return out;
+}
+
+std::vector<std::string> BpeTokenizer::encode_pieces(const std::string& text) const {
+  std::vector<std::string> out;
+  const auto words = split(text, " ");
+  for (size_t i = 0; i < words.size(); ++i) {
+    if (i > 0) out.emplace_back(" ");
+    const auto pieces = word_pieces(words[i]);
+    out.insert(out.end(), pieces.begin(), pieces.end());
+  }
+  return out;
+}
+
+std::vector<TokenId> BpeTokenizer::encode(const std::string& text,
+                                          bool add_bos_eos) const {
+  std::vector<TokenId> ids;
+  if (add_bos_eos) ids.push_back(Vocabulary::kBos);
+  for (const auto& p : encode_pieces(text)) {
+    ids.push_back(vocab_.id(p));
+  }
+  if (add_bos_eos) ids.push_back(Vocabulary::kEos);
+  return ids;
+}
+
+std::string BpeTokenizer::decode(const std::vector<TokenId>& ids) const {
+  std::string out;
+  for (TokenId id : ids) {
+    if (id == Vocabulary::kPad || id == Vocabulary::kBos ||
+        id == Vocabulary::kEos || id == Vocabulary::kUnk) {
+      continue;
+    }
+    out += vocab_.piece(id);
+  }
+  return out;
+}
+
+double BpeTokenizer::compression_vs_clt(const std::vector<std::string>& corpus) const {
+  long clt = 0, bpe = 0;
+  for (const auto& line : corpus) {
+    clt += static_cast<long>(char_tokens(line).size());
+    bpe += static_cast<long>(encode_pieces(line).size());
+  }
+  if (bpe == 0) throw InvalidArgument("compression_vs_clt: empty corpus");
+  return static_cast<double>(clt) / static_cast<double>(bpe);
+}
+
+std::string BpeTokenizer::serialize() const {
+  // Header, merges, then the vocabulary in id order: the transformer's
+  // embedding rows are indexed by these ids, so the rebuild must be exact.
+  std::ostringstream os;
+  os << "bpe-v2 " << merges_.size() << " " << (opt_.protect_numeric ? 1 : 0)
+     << " " << vocab_.size() << "\n";
+  for (const auto& [l, r] : merges_) {
+    os << l << "\t" << r << "\n";
+  }
+  for (size_t id = 4; id < vocab_.size(); ++id) {  // specials are implicit
+    os << vocab_.piece(static_cast<TokenId>(id)) << "\n";
+  }
+  return os.str();
+}
+
+BpeTokenizer BpeTokenizer::deserialize(const std::string& text) {
+  std::istringstream is(text);
+  std::string magic;
+  size_t n_merges = 0, n_vocab = 0;
+  int protect = 1;
+  is >> magic >> n_merges >> protect >> n_vocab;
+  if (magic != "bpe-v2") throw InvalidArgument("BpeTokenizer: bad serialization");
+  std::string line;
+  std::getline(is, line);  // consume header newline
+  BpeTokenizer tok;
+  tok.opt_.protect_numeric = protect != 0;
+  for (size_t i = 0; i < n_merges; ++i) {
+    if (!std::getline(is, line)) {
+      throw InvalidArgument("BpeTokenizer: truncated merges");
+    }
+    const auto tab = line.find('\t');
+    if (tab == std::string::npos) throw InvalidArgument("BpeTokenizer: bad merge line");
+    tok.merges_.emplace_back(line.substr(0, tab), line.substr(tab + 1));
+  }
+  while (tok.vocab_.size() < n_vocab && std::getline(is, line)) {
+    tok.vocab_.add(line);
+  }
+  if (tok.vocab_.size() != n_vocab) {
+    throw InvalidArgument("BpeTokenizer: truncated vocabulary");
+  }
+  return tok;
+}
+
+}  // namespace ota::nlp

@@ -1,0 +1,50 @@
+#include "nlp/vocabulary.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace ota::nlp {
+
+Vocabulary::Vocabulary() {
+  for (const char* p : {"<pad>", "<bos>", "<eos>", "<unk>"}) {
+    add(p);
+  }
+}
+
+TokenId Vocabulary::add(const std::string& piece) {
+  auto it = ids_.find(piece);
+  if (it != ids_.end()) return it->second;
+  const TokenId id = static_cast<TokenId>(pieces_.size());
+  pieces_.push_back(piece);
+  ids_.emplace(piece, id);
+  return id;
+}
+
+TokenId Vocabulary::id(const std::string& piece) const {
+  auto it = ids_.find(piece);
+  return it == ids_.end() ? kUnk : it->second;
+}
+
+bool Vocabulary::contains(const std::string& piece) const {
+  return ids_.count(piece) > 0;
+}
+
+const std::string& Vocabulary::piece(TokenId id) const {
+  if (id < 0 || static_cast<size_t>(id) >= pieces_.size()) {
+    throw InvalidArgument("Vocabulary: token id out of range");
+  }
+  return pieces_[static_cast<size_t>(id)];
+}
+
+bool is_numeric_token(const std::string& piece) {
+  // Digits and the decimal point count as numeric; the lone "." must be
+  // numeric too or BPE would merge "2"+"." and recombine spelled-out values.
+  if (piece.empty()) return false;
+  for (char c : piece) {
+    if (!((c >= '0' && c <= '9') || c == '.')) return false;
+  }
+  return true;
+}
+
+}  // namespace ota::nlp

@@ -1,0 +1,44 @@
+// Token vocabulary shared by the tokenizer and the transformer.
+//
+// Ids 0..3 are reserved for the special tokens <pad>, <bos>, <eos>, <unk>;
+// every other id maps to a text piece produced by the tokenizer.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ota::nlp {
+
+using TokenId = int;
+
+class Vocabulary {
+ public:
+  static constexpr TokenId kPad = 0;
+  static constexpr TokenId kBos = 1;
+  static constexpr TokenId kEos = 2;
+  static constexpr TokenId kUnk = 3;
+
+  Vocabulary();
+
+  /// Id of `piece`, inserting it when new.
+  TokenId add(const std::string& piece);
+  /// Id of `piece`, or kUnk when absent.
+  TokenId id(const std::string& piece) const;
+  /// True when the piece is known.
+  bool contains(const std::string& piece) const;
+  /// Piece text of an id; throws on out-of-range ids.
+  const std::string& piece(TokenId id) const;
+
+  size_t size() const { return pieces_.size(); }
+
+ private:
+  std::vector<std::string> pieces_;
+  std::map<std::string, TokenId> ids_;
+};
+
+/// True for tokens made purely of digits and '.', i.e. the numeric tokens the
+/// weighted cross-entropy loss up-weights (paper Section III-C).
+bool is_numeric_token(const std::string& piece);
+
+}  // namespace ota::nlp

@@ -1,0 +1,135 @@
+#include "sfg/admittance.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace ota::sfg {
+
+bool is_capacitive(TermKind k) {
+  return k == TermKind::Capacitance || k == TermKind::Cgs || k == TermKind::Cds;
+}
+
+bool is_device_param(TermKind k) {
+  return k == TermKind::Gm || k == TermKind::Gds || k == TermKind::Cgs ||
+         k == TermKind::Cds;
+}
+
+std::string Term::param_name() const {
+  switch (kind) {
+    case TermKind::Conductance:
+    case TermKind::Capacitance:
+      return component;
+    case TermKind::Gm: return "gm" + component;
+    case TermKind::Gds: return "gds" + component;
+    case TermKind::Cgs: return "Cgs" + component;
+    case TermKind::Cds: return "Cds" + component;
+    case TermKind::Unity: return "1";
+  }
+  return "?";
+}
+
+std::string Term::symbol() const {
+  if (kind == TermKind::Unity) return "1";
+  const std::string base = param_name();
+  return is_capacitive(kind) ? "s" + base : base;
+}
+
+std::string Term::numeric(int sig_digits) const {
+  if (!is_device_param(kind)) return symbol();  // passives stay symbolic
+  const bool cap = is_capacitive(kind);
+  const std::string v = format_si(value, cap ? "F" : "S", sig_digits);
+  return (cap ? "s" : "") + v + component;
+}
+
+Admittance Admittance::one() {
+  Admittance a;
+  a.terms.push_back(Term{});  // default Term is Unity, value 1, sign +1
+  return a;
+}
+
+Admittance Admittance::single(Term t) {
+  Admittance a;
+  a.terms.push_back(std::move(t));
+  return a;
+}
+
+Admittance Admittance::inverse(std::vector<Term> ts) {
+  Admittance a;
+  a.terms = std::move(ts);
+  a.inverted = true;
+  return a;
+}
+
+void Admittance::add(const Term& t) {
+  for (auto& existing : terms) {
+    if (existing.kind == t.kind && existing.component == t.component) {
+      // Same parameter appearing twice on one edge combines algebraically.
+      const double combined =
+          existing.sign * existing.value + t.sign * t.value;
+      existing.sign = combined >= 0.0 ? +1 : -1;
+      existing.value = std::abs(combined);
+      return;
+    }
+  }
+  terms.push_back(t);
+}
+
+std::complex<double> Admittance::evaluate(std::complex<double> s) const {
+  std::complex<double> sum{0.0, 0.0};
+  for (const auto& t : terms) {
+    const std::complex<double> v =
+        is_capacitive(t.kind) ? s * t.value : std::complex<double>{t.value, 0.0};
+    sum += static_cast<double>(t.sign) * v;
+  }
+  if (!inverted) return sum;
+  if (std::abs(sum) == 0.0) {
+    throw InternalError("Admittance: inverting a zero admittance");
+  }
+  return 1.0 / sum;
+}
+
+namespace {
+
+template <typename PieceFn>
+std::string render(const std::vector<Term>& terms, bool inverted, PieceFn piece) {
+  std::string body;
+  for (size_t i = 0; i < terms.size(); ++i) {
+    const Term& t = terms[i];
+    if (t.sign < 0) {
+      body += "-";
+    } else if (i > 0) {
+      body += "+";
+    }
+    body += piece(t);
+  }
+  if (inverted) return "1/(" + body + ")";
+  return body;
+}
+
+}  // namespace
+
+std::string Admittance::render_symbolic() const {
+  return render(terms, inverted, [](const Term& t) { return t.symbol(); });
+}
+
+std::string Admittance::render_numeric(int sig_digits) const {
+  return render(terms, inverted,
+                [sig_digits](const Term& t) { return t.numeric(sig_digits); });
+}
+
+void Admittance::substitute(const std::map<std::string, double>& values) {
+  for (auto& t : terms) {
+    if (!is_device_param(t.kind)) continue;
+    auto it = values.find(t.param_name());
+    if (it != values.end()) t.value = it->second;
+  }
+}
+
+bool Admittance::is_unity() const {
+  return !inverted && terms.size() == 1 && terms[0].kind == TermKind::Unity &&
+         terms[0].sign > 0;
+}
+
+}  // namespace ota::sfg

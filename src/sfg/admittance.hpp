@@ -1,0 +1,79 @@
+// Symbolic admittance expressions for DP-SFG edge weights.
+//
+// Every edge weight in a driving-point SFG is either a sum of admittance
+// terms (conductances and s-multiplied capacitances, possibly negated, e.g.
+// "sC+sCgsM1+gmM1" or "-gmM1"), the *inverse* of such a sum (the driving-point
+// impedances z_k = 1/(sum of attached admittances)), or the constant 1.
+// This module provides that small expression language: numeric evaluation at
+// complex frequency and rendering in the paper's sequence notation, both
+// symbolic ("gmM1") and with numeric values substituted ("2.5mSM1", Fig. 4).
+#pragma once
+
+#include <complex>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ota::sfg {
+
+/// What a term stands for; decides rendering and whether the transformer is
+/// expected to predict its value (device parameters) or not (passives).
+enum class TermKind {
+  Conductance,  ///< passive conductance (resistor), symbol e.g. "G"
+  Capacitance,  ///< passive capacitance, symbol e.g. "C" -> rendered "sC"
+  Gm,           ///< transistor transconductance, "gm<dev>"
+  Gds,          ///< transistor output conductance, "gds<dev>"
+  Cgs,          ///< transistor gate-source cap, "sCgs<dev>"
+  Cds,          ///< transistor drain-source cap, "sCds<dev>"
+  Unity,        ///< the constant 1 (excitation and output edges)
+};
+
+/// True for kinds that multiply s (capacitive terms).
+bool is_capacitive(TermKind k);
+/// True for the four transistor small-signal parameters.
+bool is_device_param(TermKind k);
+
+/// One signed admittance term.
+struct Term {
+  TermKind kind = TermKind::Unity;
+  std::string component;  ///< device or passive component name ("M1", "C", "G")
+  double value = 1.0;     ///< magnitude in S or F (1.0 for Unity)
+  int sign = +1;
+
+  /// Canonical parameter name, e.g. "gmM1", "CgsM1", "C", "G".
+  std::string param_name() const;
+  /// Symbolic rendering, e.g. "gmM1", "sCgsM1", "sC".
+  std::string symbol() const;
+  /// Numeric rendering per Fig. 4: device params get SI values with the
+  /// device suffix ("2.5mSM1", "s541aFM1"); passives stay symbolic.
+  std::string numeric(int sig_digits) const;
+};
+
+/// A sum of terms, optionally inverted: sum, or 1/sum.
+struct Admittance {
+  std::vector<Term> terms;
+  bool inverted = false;
+
+  static Admittance one();
+  static Admittance single(Term t);
+  static Admittance inverse(std::vector<Term> ts);
+
+  /// Adds a term, merging with an existing term of the same parameter name.
+  void add(const Term& t);
+
+  /// Numeric evaluation at complex frequency s = j*2*pi*f.
+  std::complex<double> evaluate(std::complex<double> s) const;
+
+  /// Paper-style text: "1/(sC+sCgsM+gdsM)" / "sC+sCgsM+gmM" / "-gmM" / "1".
+  std::string render_symbolic() const;
+  /// Same with numeric values for device parameters (Fig. 4 output style).
+  std::string render_numeric(int sig_digits = 3) const;
+
+  /// Substitutes new values for device parameters; keys are param_name()s
+  /// (e.g. "gmM1").  Missing keys keep their current value.
+  void substitute(const std::map<std::string, double>& values);
+
+  bool is_unity() const;
+};
+
+}  // namespace ota::sfg

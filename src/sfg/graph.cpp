@@ -1,0 +1,252 @@
+#include "sfg/graph.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.hpp"
+
+namespace ota::sfg {
+
+using circuit::kGround;
+using circuit::Netlist;
+using circuit::NodeId;
+
+namespace {
+
+// Node classification for the small-signal view.
+enum class NodeClass { AcGround, Excitation, Floating };
+
+struct NodeInfo {
+  NodeClass cls = NodeClass::Floating;
+  int excitation_vertex = -1;  // for Excitation nodes
+  int i_vertex = -1;           // for Floating nodes
+  int v_vertex = -1;
+};
+
+}  // namespace
+
+int DpSfg::add_vertex(VertexKind kind, const std::string& name, NodeId node) {
+  const int idx = static_cast<int>(vertices_.size());
+  vertices_.push_back(Vertex{kind, name, node});
+  adjacency_.emplace_back();
+  if (!by_name_.emplace(name, idx).second) {
+    throw InternalError("DpSfg: duplicate vertex name " + name);
+  }
+  return idx;
+}
+
+void DpSfg::add_edge(int from, int to, const Term& t) {
+  // Merge into an existing edge between the same vertex pair (e.g. the
+  // coupling capacitance and gm between the same nodes combine, as in the
+  // paper's "sC+sCgs+gm" edge).
+  for (auto& e : edges_) {
+    if (e.from == from && e.to == to && !e.weight.inverted) {
+      e.weight.add(t);
+      return;
+    }
+  }
+  const int idx = static_cast<int>(edges_.size());
+  edges_.push_back(Edge{from, to, Admittance::single(t)});
+  adjacency_[static_cast<size_t>(from)].push_back(idx);
+}
+
+void DpSfg::add_edge_weight(int from, int to, const Admittance& w) {
+  const int idx = static_cast<int>(edges_.size());
+  edges_.push_back(Edge{from, to, w});
+  adjacency_[static_cast<size_t>(from)].push_back(idx);
+}
+
+namespace {
+bool by(const DpSfg& g, const std::string& name) {
+  for (const auto& v : g.vertices()) {
+    if (v.name == name) return true;
+  }
+  return false;
+}
+}  // namespace
+
+int DpSfg::vertex_index(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    throw InvalidArgument("DpSfg: unknown vertex '" + name + "'");
+  }
+  return it->second;
+}
+
+DpSfg DpSfg::build(const Netlist& nl,
+                   const std::map<std::string, device::SmallSignal>& devices,
+                   const std::string& output_node) {
+  DpSfg g;
+  const int n_nodes = nl.node_count();
+  std::vector<NodeInfo> info(static_cast<size_t>(n_nodes));
+  info[0].cls = NodeClass::AcGround;
+
+  // Step 0: classify nodes driven by voltage sources.
+  for (const auto& s : nl.vsources()) {
+    if (s.pos != kGround && s.neg != kGround) {
+      throw InvalidArgument("DpSfg: voltage source between two internal nodes"
+                            " is not supported");
+    }
+    const NodeId node = s.pos != kGround ? s.pos : s.neg;
+    if (node == kGround) continue;
+    info[static_cast<size_t>(node)].cls =
+        s.ac != 0.0 ? NodeClass::Excitation : NodeClass::AcGround;
+  }
+
+  // Excitation vertices for AC voltage sources and AC current sources.
+  for (const auto& s : nl.vsources()) {
+    if (s.ac == 0.0) continue;
+    const NodeId node = s.pos != kGround ? s.pos : s.neg;
+    const double amplitude = s.pos != kGround ? s.ac : -s.ac;
+    const int v = g.add_vertex(VertexKind::Excitation, s.name, node);
+    info[static_cast<size_t>(node)].excitation_vertex = v;
+    g.excitations_.emplace_back(v, amplitude);
+  }
+
+  // Step 1: auxiliary source vertices I_k, V_k for every floating node.
+  for (NodeId id = 1; id < n_nodes; ++id) {
+    auto& ni = info[static_cast<size_t>(id)];
+    if (ni.cls != NodeClass::Floating) continue;
+    const std::string& nn = nl.node_name(id);
+    ni.i_vertex = g.add_vertex(VertexKind::NodeCurrent, "I" + nn, id);
+    ni.v_vertex = g.add_vertex(VertexKind::NodeVoltage, "V" + nn, id);
+  }
+
+  // The driving-point impedance terms accumulate per floating node.
+  std::vector<std::vector<Term>> z_terms(static_cast<size_t>(n_nodes));
+
+  // One two-terminal admittance: contributes to z at floating endpoints and
+  // to coupling edges toward each floating endpoint's current vertex.
+  auto stamp_admittance = [&](NodeId a, NodeId b, const Term& t) {
+    auto contribute = [&](NodeId node, NodeId other) {
+      const auto& ni = info[static_cast<size_t>(node)];
+      if (ni.cls != NodeClass::Floating) return;
+      z_terms[static_cast<size_t>(node)].push_back(t);
+      const auto& no = info[static_cast<size_t>(other)];
+      if (no.cls == NodeClass::Floating) {
+        g.add_edge(no.v_vertex, ni.i_vertex, t);
+      } else if (no.cls == NodeClass::Excitation) {
+        g.add_edge(no.excitation_vertex, ni.i_vertex, t);
+      }
+      // AC-ground neighbors contribute only to z.
+    };
+    contribute(a, b);
+    contribute(b, a);
+  };
+
+  // Step 2: passive components.
+  for (const auto& r : nl.resistors()) {
+    stamp_admittance(r.a, r.b,
+                     Term{TermKind::Conductance, r.name, 1.0 / r.resistance, +1});
+  }
+  for (const auto& c : nl.capacitors()) {
+    stamp_admittance(c.a, c.b,
+                     Term{TermKind::Capacitance, c.name, c.capacitance, +1});
+  }
+
+  // Transistor passive-like elements (gds, Cds between d/s; Cgs between g/s),
+  // then Step 3: the gm-controlled branches.
+  auto voltage_of = [&](NodeId node) -> int {
+    const auto& ni = info[static_cast<size_t>(node)];
+    if (ni.cls == NodeClass::Floating) return ni.v_vertex;
+    if (ni.cls == NodeClass::Excitation) return ni.excitation_vertex;
+    return -1;  // AC ground: contributes nothing
+  };
+
+  for (const auto& m : nl.mosfets()) {
+    auto it = devices.find(m.name);
+    if (it == devices.end()) {
+      throw InvalidArgument("DpSfg: no small-signal data for device " + m.name);
+    }
+    const device::SmallSignal& ss = it->second;
+    stamp_admittance(m.drain, m.source, Term{TermKind::Gds, m.name, ss.gds, +1});
+    stamp_admittance(m.drain, m.source, Term{TermKind::Cds, m.name, ss.cds, +1});
+    stamp_admittance(m.gate, m.source, Term{TermKind::Cgs, m.name, ss.cgs, +1});
+
+    // Step 3: channel current gm*v(g,s) flows drain -> source.  Current into
+    // the drain node is -gm*v_g + gm*v_s; into the source node +gm*v_g -
+    // gm*v_s.  Self terms become explicit self-loop edges (paper Fig. 2's
+    // "-gm" loop), not part of z.
+    const int vg = voltage_of(m.gate);
+    const int vs = voltage_of(m.source);
+    const auto& nd = info[static_cast<size_t>(m.drain)];
+    const auto& ns = info[static_cast<size_t>(m.source)];
+    if (nd.cls == NodeClass::Floating) {
+      if (vg >= 0) g.add_edge(vg, nd.i_vertex, Term{TermKind::Gm, m.name, ss.gm, -1});
+      if (vs >= 0) g.add_edge(vs, nd.i_vertex, Term{TermKind::Gm, m.name, ss.gm, +1});
+    }
+    if (ns.cls == NodeClass::Floating) {
+      if (vg >= 0) g.add_edge(vg, ns.i_vertex, Term{TermKind::Gm, m.name, ss.gm, +1});
+      if (vs >= 0) g.add_edge(vs, ns.i_vertex, Term{TermKind::Gm, m.name, ss.gm, -1});
+    }
+  }
+
+  // Step 1 (continued): the z_k edges I_k -> V_k.
+  for (NodeId id = 1; id < n_nodes; ++id) {
+    const auto& ni = info[static_cast<size_t>(id)];
+    if (ni.cls != NodeClass::Floating) continue;
+    auto& terms = z_terms[static_cast<size_t>(id)];
+    if (terms.empty()) {
+      throw InvalidArgument("DpSfg: node '" + nl.node_name(id) +
+                            "' has no admittance to any other node");
+    }
+    // Merge duplicate parameters (e.g. gds appearing from both stamps).
+    Admittance z;
+    z.inverted = true;
+    for (const auto& t : terms) {
+      // add() merges by (kind, component); reuse via a temporary.
+      z.add(t);
+    }
+    g.add_edge_weight(ni.i_vertex, ni.v_vertex, z);
+  }
+
+  // Current-source excitations: unit edges into the node current vertices.
+  for (const auto& s : nl.isources()) {
+    if (s.ac == 0.0) continue;
+    const int v = g.add_vertex(VertexKind::Excitation, s.name, -1);
+    g.excitations_.emplace_back(v, s.ac);
+    // Current s.ac flows pos -> neg through the source: it *leaves* pos and
+    // *enters* neg.
+    const auto& np = info[static_cast<size_t>(s.pos)];
+    const auto& nn = info[static_cast<size_t>(s.neg)];
+    if (np.cls == NodeClass::Floating) {
+      g.add_edge(v, np.i_vertex, Term{TermKind::Unity, "", 1.0, -1});
+    }
+    if (nn.cls == NodeClass::Floating) {
+      g.add_edge(v, nn.i_vertex, Term{TermKind::Unity, "", 1.0, +1});
+    }
+  }
+
+  // Output vertex with a unit edge from the measured node's voltage vertex.
+  const NodeId out_node = nl.find_node(output_node);
+  const auto& no = info[static_cast<size_t>(out_node)];
+  if (no.cls != NodeClass::Floating) {
+    throw InvalidArgument("DpSfg: output node must be a floating node");
+  }
+  // Paper names the sink "Vout"; fall back when a node's voltage vertex
+  // already took that name (e.g. a node literally called "out").
+  const std::string out_name = by(g, "Vout") ? "Out" : "Vout";
+  g.output_ = g.add_vertex(VertexKind::Output, out_name, out_node);
+  g.add_edge(no.v_vertex, g.output_, Term{TermKind::Unity, "", 1.0, +1});
+
+  if (g.excitations_.empty()) {
+    throw InvalidArgument("DpSfg: circuit has no AC excitation");
+  }
+  return g;
+}
+
+void DpSfg::substitute(const std::map<std::string, double>& values) {
+  for (auto& e : edges_) e.weight.substitute(values);
+}
+
+std::vector<std::string> DpSfg::device_parameters() const {
+  std::set<std::string> names;
+  for (const auto& e : edges_) {
+    for (const auto& t : e.weight.terms) {
+      if (is_device_param(t.kind)) names.insert(t.param_name());
+    }
+  }
+  return {names.begin(), names.end()};
+}
+
+}  // namespace ota::sfg

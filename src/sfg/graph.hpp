@@ -1,0 +1,94 @@
+// Driving-point signal-flow graph construction (paper Section III-B).
+//
+// Follows the paper's four steps on a small-signal view of the netlist:
+//   Step 0: bookkeeping — classify nodes as AC ground (DC sources), AC
+//           excitations (sources with a nonzero ac value), or floating.
+//   Step 1: auxiliary sources — every floating node k gets a current vertex
+//           I_k and a voltage vertex V_k joined by the driving-point
+//           impedance z_k = 1/(sum of all admittances attached to node k).
+//   Step 2: passive branches — every admittance y between floating nodes a,b
+//           adds coupling edges V_b -> I_a and V_a -> I_b with weight +y
+//           (transistor gds / Cgs / Cds stamp exactly like passives).
+//   Step 3: transconductance branches — each MOSFET adds gm edges
+//           V_g -> I_d (-gm), V_s -> I_d (+gm), V_g -> I_s (+gm),
+//           V_s -> I_s (-gm), with AC-grounded terminals dropped and
+//           excitation terminals taken from the excitation vertex.
+//
+// An Output vertex is attached to the measured node with a unit edge, and
+// every excitation (nonzero-ac source) becomes a source vertex.  Mason's rule
+// over this graph reproduces the MNA AC transfer exactly (tested).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "device/mos_model.hpp"
+#include "sfg/admittance.hpp"
+
+namespace ota::sfg {
+
+enum class VertexKind { Excitation, NodeCurrent, NodeVoltage, Output };
+
+struct Vertex {
+  VertexKind kind;
+  std::string name;       ///< "Iin", "In1", "Vn1", "Vout"
+  circuit::NodeId node;   ///< associated circuit node (-1 for excitations)
+};
+
+struct Edge {
+  int from;
+  int to;
+  Admittance weight;
+};
+
+/// The DP-SFG of one circuit at one operating point.
+class DpSfg {
+ public:
+  /// Builds the graph.  `devices` supplies each MOSFET's small-signal values
+  /// (from spice::small_signal_map); `output_node` is the measured node.
+  static DpSfg build(const circuit::Netlist& netlist,
+                     const std::map<std::string, device::SmallSignal>& devices,
+                     const std::string& output_node);
+
+  const std::vector<Vertex>& vertices() const { return vertices_; }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Vertex index by name; throws when unknown.
+  int vertex_index(const std::string& name) const;
+  /// Index of the Output vertex.
+  int output_vertex() const { return output_; }
+  /// Indices of all excitation vertices with their drive amplitudes
+  /// (the source `ac` values, e.g. +0.5 / -0.5 for a differential pair).
+  const std::vector<std::pair<int, double>>& excitations() const {
+    return excitations_;
+  }
+
+  /// Out-edges of a vertex (indices into edges()).
+  const std::vector<int>& out_edges(int v) const {
+    return adjacency_[static_cast<size_t>(v)];
+  }
+
+  /// Replaces device-parameter values on every edge (used to re-render
+  /// sequences for a new design and by the layout-parasitic reuse flow).
+  void substitute(const std::map<std::string, double>& values);
+
+  /// Names of all device parameters appearing in the graph ("gmM1", ...),
+  /// sorted and deduplicated — the prediction targets of the transformer.
+  std::vector<std::string> device_parameters() const;
+
+ private:
+  int add_vertex(VertexKind kind, const std::string& name, circuit::NodeId node);
+  void add_edge(int from, int to, const Term& t);
+  void add_edge_weight(int from, int to, const Admittance& w);
+
+  std::vector<Vertex> vertices_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<int>> adjacency_;
+  std::map<std::string, int> by_name_;
+  std::vector<std::pair<int, double>> excitations_;
+  int output_ = -1;
+};
+
+}  // namespace ota::sfg

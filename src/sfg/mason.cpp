@@ -1,0 +1,108 @@
+#include "sfg/mason.hpp"
+
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace ota::sfg {
+
+using Cplx = std::complex<double>;
+
+MasonEvaluator::MasonEvaluator(const DpSfg& g) : g_(g) {
+  cycles_ = enumerate_cycles(g);
+  cycle_masks_.reserve(cycles_.size());
+  for (const auto& c : cycles_) cycle_masks_.push_back(vertex_mask(c));
+  for (const auto& [src, amplitude] : g.excitations()) {
+    (void)amplitude;
+    paths_.push_back(enumerate_paths(g, src, g.output_vertex()));
+  }
+}
+
+Cplx MasonEvaluator::walk_gain(const VertexPath& p, bool closed, Cplx s) const {
+  // Multiply edge weights between consecutive vertices (and back to the start
+  // for cycles).  Parallel edges between a pair are pre-merged by the builder,
+  // so at most one non-inverted edge plus the I->V impedance edge exist; walk
+  // along the stored adjacency to find the connecting edge.
+  Cplx gain{1.0, 0.0};
+  const size_t n = p.size();
+  const size_t steps = closed ? n : n - 1;
+  for (size_t i = 0; i < steps; ++i) {
+    const int from = p[i];
+    const int to = p[(i + 1) % n];
+    bool found = false;
+    for (int ei : g_.out_edges(from)) {
+      const Edge& e = g_.edges()[static_cast<size_t>(ei)];
+      if (e.to == to) {
+        gain *= e.weight.evaluate(s);
+        found = true;
+        break;
+      }
+    }
+    if (!found) throw InternalError("MasonEvaluator: missing edge along path");
+  }
+  return gain;
+}
+
+Cplx MasonEvaluator::delta(uint64_t excluded,
+                           const std::vector<Cplx>& loop_gain) const {
+  // Recursive inclusion-exclusion over sets of pairwise non-touching loops:
+  // Delta = 1 - sum L_i + sum L_i L_j - ...  Implemented as a DFS over loop
+  // indices, carrying the union mask of chosen loops and the signed product.
+  const size_t n = cycles_.size();
+  Cplx total{1.0, 0.0};
+  // Iterative stack of (next index, union mask, signed product).
+  struct Frame {
+    size_t next;
+    uint64_t mask;
+    Cplx product;
+  };
+  std::vector<Frame> stack{{0, 0, Cplx{-1.0, 0.0}}};
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    for (size_t i = f.next; i < n; ++i) {
+      const uint64_t m = cycle_masks_[i];
+      if ((m & excluded) != 0 || (m & f.mask) != 0) continue;
+      const Cplx p = f.product * loop_gain[i];
+      total += p;  // this subset contributes (-1)^k * prod(L)
+      stack.push_back(Frame{i + 1, f.mask | m, -p});
+    }
+  }
+  return total;
+}
+
+Cplx MasonEvaluator::transfer_from(int excitation_vertex, double f_hz) const {
+  const Cplx s{0.0, 2.0 * std::numbers::pi * f_hz};
+
+  std::vector<Cplx> loop_gain(cycles_.size());
+  for (size_t i = 0; i < cycles_.size(); ++i) {
+    loop_gain[i] = walk_gain(cycles_[i], /*closed=*/true, s);
+  }
+  const Cplx d = delta(0, loop_gain);
+
+  // Locate this excitation's path list.
+  size_t which = paths_.size();
+  for (size_t i = 0; i < g_.excitations().size(); ++i) {
+    if (g_.excitations()[i].first == excitation_vertex) which = i;
+  }
+  if (which == paths_.size()) {
+    throw InvalidArgument("MasonEvaluator: not an excitation vertex");
+  }
+
+  Cplx numerator{0.0, 0.0};
+  for (const auto& p : paths_[which]) {
+    const Cplx pk = walk_gain(p, /*closed=*/false, s);
+    numerator += pk * delta(vertex_mask(p), loop_gain);
+  }
+  return numerator / d;
+}
+
+Cplx MasonEvaluator::transfer(double f_hz) const {
+  Cplx total{0.0, 0.0};
+  for (const auto& [src, amplitude] : g_.excitations()) {
+    total += amplitude * transfer_from(src, f_hz);
+  }
+  return total;
+}
+
+}  // namespace ota::sfg

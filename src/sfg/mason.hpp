@@ -1,0 +1,55 @@
+// Mason's gain formula on the DP-SFG.
+//
+// Mason (1953):  H = sum_k P_k * Delta_k / Delta, with
+//   Delta   = 1 - sum(L_i) + sum(L_i L_j, non-touching) - ...
+//   Delta_k = Delta restricted to loops not touching forward path k.
+//
+// This is the ground truth linking the DP-SFG representation back to circuit
+// behaviour: evaluated at s = j*2*pi*f it must agree with the MNA AC solve,
+// which is exactly what the integration tests assert.  It is also how the
+// repository validates that the sequence text given to the transformer is a
+// faithful description of the circuit.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "sfg/graph.hpp"
+#include "sfg/paths.hpp"
+
+namespace ota::sfg {
+
+/// Precomputed path/cycle structure for repeated evaluations of one graph.
+class MasonEvaluator {
+ public:
+  explicit MasonEvaluator(const DpSfg& g);
+
+  /// Transfer from one excitation vertex to the output at frequency f [Hz]
+  /// (unit drive; amplitudes are not applied).
+  std::complex<double> transfer_from(int excitation_vertex, double f_hz) const;
+
+  /// Full output at frequency f: sum over excitations of amplitude * H_e.
+  /// Matches AcAnalysis::transfer at the output node.
+  std::complex<double> transfer(double f_hz) const;
+
+  const std::vector<VertexPath>& cycles() const { return cycles_; }
+  /// Forward paths per excitation, index-aligned with g.excitations().
+  const std::vector<std::vector<VertexPath>>& paths_per_excitation() const {
+    return paths_;
+  }
+
+ private:
+  // Edge gain product along consecutive path vertices at complex s.
+  std::complex<double> walk_gain(const VertexPath& p, bool closed,
+                                 std::complex<double> s) const;
+  // Delta over the loop subset not touching `excluded` (0 for the full Delta).
+  std::complex<double> delta(uint64_t excluded,
+                             const std::vector<std::complex<double>>& loop_gain) const;
+
+  const DpSfg& g_;
+  std::vector<VertexPath> cycles_;
+  std::vector<uint64_t> cycle_masks_;
+  std::vector<std::vector<VertexPath>> paths_;
+};
+
+}  // namespace ota::sfg

@@ -1,0 +1,129 @@
+#include "sfg/paths.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace ota::sfg {
+
+namespace {
+
+// Johnson's elementary-cycle enumeration.  For each start vertex s (in
+// increasing order) it searches the subgraph induced by vertices >= s, using
+// the blocked-set/unblock machinery to avoid re-exploring dead ends.
+class JohnsonCycles {
+ public:
+  explicit JohnsonCycles(const DpSfg& g) : g_(g), n_(static_cast<int>(g.vertices().size())) {
+    blocked_.assign(static_cast<size_t>(n_), false);
+    block_map_.assign(static_cast<size_t>(n_), {});
+  }
+
+  std::vector<VertexPath> run() {
+    for (start_ = 0; start_ < n_; ++start_) {
+      std::fill(blocked_.begin(), blocked_.end(), false);
+      for (auto& bm : block_map_) bm.clear();
+      stack_.clear();
+      circuit(start_);
+    }
+    return std::move(cycles_);
+  }
+
+ private:
+  bool circuit(int v) {
+    bool found = false;
+    stack_.push_back(v);
+    blocked_[static_cast<size_t>(v)] = true;
+    for (int ei : g_.out_edges(v)) {
+      const int w = g_.edges()[static_cast<size_t>(ei)].to;
+      if (w < start_) continue;  // only the subgraph of vertices >= start
+      if (w == start_) {
+        cycles_.push_back(stack_);
+        found = true;
+      } else if (!blocked_[static_cast<size_t>(w)]) {
+        if (circuit(w)) found = true;
+      }
+    }
+    if (found) {
+      unblock(v);
+    } else {
+      for (int ei : g_.out_edges(v)) {
+        const int w = g_.edges()[static_cast<size_t>(ei)].to;
+        if (w < start_) continue;
+        auto& bm = block_map_[static_cast<size_t>(w)];
+        if (std::find(bm.begin(), bm.end(), v) == bm.end()) bm.push_back(v);
+      }
+    }
+    stack_.pop_back();
+    return found;
+  }
+
+  void unblock(int v) {
+    blocked_[static_cast<size_t>(v)] = false;
+    auto pending = std::move(block_map_[static_cast<size_t>(v)]);
+    block_map_[static_cast<size_t>(v)].clear();
+    for (int w : pending) {
+      if (blocked_[static_cast<size_t>(w)]) unblock(w);
+    }
+  }
+
+  const DpSfg& g_;
+  int n_;
+  int start_ = 0;
+  std::vector<bool> blocked_;
+  std::vector<std::vector<int>> block_map_;
+  VertexPath stack_;
+  std::vector<VertexPath> cycles_;
+};
+
+void dfs_paths(const DpSfg& g, int v, int to, std::vector<bool>& on_path,
+               VertexPath& stack, std::vector<VertexPath>& out) {
+  stack.push_back(v);
+  on_path[static_cast<size_t>(v)] = true;
+  if (v == to) {
+    out.push_back(stack);
+  } else {
+    for (int ei : g.out_edges(v)) {
+      const int w = g.edges()[static_cast<size_t>(ei)].to;
+      if (!on_path[static_cast<size_t>(w)]) dfs_paths(g, w, to, on_path, stack, out);
+    }
+  }
+  on_path[static_cast<size_t>(v)] = false;
+  stack.pop_back();
+}
+
+}  // namespace
+
+std::vector<VertexPath> enumerate_cycles(const DpSfg& g) {
+  return JohnsonCycles(g).run();
+}
+
+std::vector<VertexPath> enumerate_paths(const DpSfg& g, int from, int to) {
+  std::vector<VertexPath> out;
+  std::vector<bool> on_path(g.vertices().size(), false);
+  VertexPath stack;
+  dfs_paths(g, from, to, on_path, stack, out);
+  return out;
+}
+
+std::vector<VertexPath> forward_paths(const DpSfg& g) {
+  std::vector<VertexPath> all;
+  for (const auto& [src, amplitude] : g.excitations()) {
+    (void)amplitude;
+    auto ps = enumerate_paths(g, src, g.output_vertex());
+    all.insert(all.end(), ps.begin(), ps.end());
+  }
+  return all;
+}
+
+uint64_t vertex_mask(const VertexPath& p) {
+  uint64_t mask = 0;
+  for (int v : p) {
+    if (v < 0 || v >= 64) {
+      throw InvalidArgument("vertex_mask: graph too large for 64-bit masks");
+    }
+    mask |= uint64_t{1} << v;
+  }
+  return mask;
+}
+
+}  // namespace ota::sfg

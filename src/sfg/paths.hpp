@@ -1,0 +1,34 @@
+// Path and cycle enumeration on the DP-SFG.
+//
+// The paper (Section III-B) enumerates all elementary cycles with Johnson's
+// algorithm (O(V^2 log V + V E) per cycle bound) and all forward paths with
+// depth-first search (O(V + E)); it reports path/cycle counts per topology in
+// Table I.  Both are implemented here over vertex-index sequences.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sfg/graph.hpp"
+
+namespace ota::sfg {
+
+/// A walk through the graph as vertex indices.  For cycles the first vertex
+/// is the canonical (minimal-index) one and is NOT repeated at the end.
+using VertexPath = std::vector<int>;
+
+/// All elementary cycles (Johnson's algorithm).  Deterministic order: sorted
+/// by canonical start vertex, then discovery order.
+std::vector<VertexPath> enumerate_cycles(const DpSfg& g);
+
+/// All simple paths from `from` to `to` (DFS).
+std::vector<VertexPath> enumerate_paths(const DpSfg& g, int from, int to);
+
+/// All forward paths: union over excitations of paths to the output vertex.
+std::vector<VertexPath> forward_paths(const DpSfg& g);
+
+/// Bitmask of the vertices a path/cycle touches (graphs here are < 64
+/// vertices; checked).
+uint64_t vertex_mask(const VertexPath& p);
+
+}  // namespace ota::sfg

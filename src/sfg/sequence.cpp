@@ -1,0 +1,54 @@
+#include "sfg/sequence.hpp"
+
+#include "common/error.hpp"
+
+namespace ota::sfg {
+
+std::string render_walk(const DpSfg& g, const VertexPath& p, bool closed,
+                        RenderMode mode, int sig_digits) {
+  if (p.empty()) throw InvalidArgument("render_walk: empty path");
+  std::string out = g.vertices()[static_cast<size_t>(p[0])].name;
+  const size_t n = p.size();
+  const size_t steps = closed ? n : n - 1;
+  for (size_t i = 0; i < steps; ++i) {
+    const int from = p[i];
+    const int to = p[(i + 1) % n];
+    const Edge* edge = nullptr;
+    for (int ei : g.out_edges(from)) {
+      const Edge& e = g.edges()[static_cast<size_t>(ei)];
+      if (e.to == to) {
+        edge = &e;
+        break;
+      }
+    }
+    if (edge == nullptr) throw InternalError("render_walk: missing edge");
+    out += " ";
+    out += mode == RenderMode::Symbolic ? edge->weight.render_symbolic()
+                                        : edge->weight.render_numeric(sig_digits);
+    out += " ";
+    out += g.vertices()[static_cast<size_t>(to)].name;
+  }
+  return out;
+}
+
+PathSet collect_paths(const DpSfg& g) {
+  PathSet ps;
+  ps.forward = forward_paths(g);
+  ps.cycles = enumerate_cycles(g);
+  return ps;
+}
+
+std::vector<std::string> render_lines(const DpSfg& g, const PathSet& ps,
+                                      RenderMode mode, int sig_digits) {
+  std::vector<std::string> lines;
+  lines.reserve(ps.forward.size() + ps.cycles.size());
+  for (const auto& p : ps.forward) {
+    lines.push_back(render_walk(g, p, /*closed=*/false, mode, sig_digits));
+  }
+  for (const auto& c : ps.cycles) {
+    lines.push_back(render_walk(g, c, /*closed=*/true, mode, sig_digits));
+  }
+  return lines;
+}
+
+}  // namespace ota::sfg

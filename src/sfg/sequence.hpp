@@ -1,0 +1,39 @@
+// Rendering DP-SFG paths as sequence text (paper Fig. 4).
+//
+// A walk is rendered as vertex names interleaved with edge weights:
+//   "Iin -1 In1 1/(sC+sCdsM+sCgsM+gdsM) Vn1 1 Vout"
+// Cycles repeat their starting vertex at the end.  In symbolic mode device
+// parameters appear by name ("gmM1"); in numeric mode they carry their values
+// ("2.5mSM1"), which is the decoder-side representation the transformer is
+// trained to produce.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sfg/mason.hpp"
+#include "sfg/paths.hpp"
+
+namespace ota::sfg {
+
+/// Whether device parameters render as names or as SI-formatted values.
+enum class RenderMode { Symbolic, Numeric };
+
+/// Renders one open path or closed cycle.
+std::string render_walk(const DpSfg& g, const VertexPath& p, bool closed,
+                        RenderMode mode, int sig_digits = 3);
+
+/// The path corpus of one circuit: all forward paths, then all cycles —
+/// the "DP-SFG paths" block of the paper's Fig. 4.
+struct PathSet {
+  std::vector<VertexPath> forward;
+  std::vector<VertexPath> cycles;
+};
+
+PathSet collect_paths(const DpSfg& g);
+
+/// Renders the corpus as one line per path (forward paths first).
+std::vector<std::string> render_lines(const DpSfg& g, const PathSet& ps,
+                                      RenderMode mode, int sig_digits = 3);
+
+}  // namespace ota::sfg

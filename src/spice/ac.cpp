@@ -1,0 +1,99 @@
+#include "spice/ac.hpp"
+
+#include <numbers>
+
+#include "common/error.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/matrix.hpp"
+
+namespace ota::spice {
+
+using circuit::kGround;
+using std::complex;
+using Cplx = complex<double>;
+
+AcAnalysis::AcAnalysis(const circuit::Netlist& netlist,
+                       const device::Technology& tech, const DcSolution& dc)
+    : netlist_(netlist), devices_(small_signal_map(netlist, tech, dc)) {}
+
+std::vector<Cplx> AcAnalysis::solve(double f_hz) const {
+  const int n_nodes = netlist_.node_count();
+  const int n_vsrc = static_cast<int>(netlist_.vsources().size());
+  const int size = n_nodes - 1 + n_vsrc;
+  if (size == 0) throw InvalidArgument("AcAnalysis: empty netlist");
+
+  const double omega = 2.0 * std::numbers::pi * f_hz;
+  const Cplx jw{0.0, omega};
+
+  linalg::MatrixC y(static_cast<size_t>(size), static_cast<size_t>(size));
+  std::vector<Cplx> rhs(static_cast<size_t>(size), Cplx{});
+
+  auto vi = [&](circuit::NodeId id) { return static_cast<size_t>(id - 1); };
+  // Admittance between two nodes (either may be ground).
+  auto stamp_y = [&](circuit::NodeId a, circuit::NodeId b, Cplx g) {
+    if (a != kGround) y(vi(a), vi(a)) += g;
+    if (b != kGround) y(vi(b), vi(b)) += g;
+    if (a != kGround && b != kGround) {
+      y(vi(a), vi(b)) -= g;
+      y(vi(b), vi(a)) -= g;
+    }
+  };
+  // VCCS: current `g * v(cp, cn)` flowing from node `out_from` to `out_to`.
+  auto stamp_vccs = [&](circuit::NodeId out_from, circuit::NodeId out_to,
+                        circuit::NodeId cp, circuit::NodeId cn, double g) {
+    if (out_from != kGround && cp != kGround) y(vi(out_from), vi(cp)) += g;
+    if (out_from != kGround && cn != kGround) y(vi(out_from), vi(cn)) -= g;
+    if (out_to != kGround && cp != kGround) y(vi(out_to), vi(cp)) -= g;
+    if (out_to != kGround && cn != kGround) y(vi(out_to), vi(cn)) += g;
+  };
+
+  for (const auto& r : netlist_.resistors()) {
+    stamp_y(r.a, r.b, Cplx{1.0 / r.resistance, 0.0});
+  }
+  for (const auto& c : netlist_.capacitors()) {
+    stamp_y(c.a, c.b, jw * c.capacitance);
+  }
+  for (const auto& m : netlist_.mosfets()) {
+    const auto& ss = devices_.at(m.name);
+    // Uniform small-signal convention (both polarities): the drain-source
+    // channel current is gm*v(g,s) + gds*v(d,s), flowing drain -> source.
+    stamp_vccs(m.drain, m.source, m.gate, m.source, ss.gm);
+    stamp_y(m.drain, m.source, Cplx{ss.gds, 0.0});
+    stamp_y(m.gate, m.source, jw * ss.cgs);
+    stamp_y(m.drain, m.source, jw * ss.cds);
+  }
+  for (const auto& s : netlist_.isources()) {
+    // AC current s.ac flows pos -> neg through the source: it leaves `pos`.
+    if (s.pos != kGround) rhs[vi(s.pos)] -= s.ac;
+    if (s.neg != kGround) rhs[vi(s.neg)] += s.ac;
+  }
+  const auto& vsrcs = netlist_.vsources();
+  for (int k = 0; k < n_vsrc; ++k) {
+    const auto& s = vsrcs[static_cast<size_t>(k)];
+    const size_t row = static_cast<size_t>(n_nodes - 1 + k);
+    if (s.pos != kGround) {
+      y(vi(s.pos), row) += 1.0;
+      y(row, vi(s.pos)) += 1.0;
+    }
+    if (s.neg != kGround) {
+      y(vi(s.neg), row) -= 1.0;
+      y(row, vi(s.neg)) -= 1.0;
+    }
+    rhs[row] = s.ac;
+  }
+
+  const std::vector<Cplx> x = linalg::LuDecomposition<Cplx>(std::move(y)).solve(rhs);
+
+  std::vector<Cplx> v(static_cast<size_t>(n_nodes), Cplx{});
+  for (int id = 1; id < n_nodes; ++id) {
+    v[static_cast<size_t>(id)] = x[vi(id)];
+  }
+  return v;
+}
+
+Cplx AcAnalysis::transfer(double f_hz, const std::string& node) const {
+  const auto v = solve(f_hz);
+  return v[static_cast<size_t>(netlist_.find_node(node))];
+}
+
+}  // namespace ota::spice

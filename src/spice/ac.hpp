@@ -1,0 +1,43 @@
+// Small-signal AC analysis.
+//
+// Linearizes every MOSFET at a DC operating point into {gm, gds, Cgs, Cds}
+// (exactly the four device parameters the paper's transformer predicts) and
+// solves the complex MNA system at each requested frequency.  Voltage and
+// current sources contribute their `ac` values as excitations.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "device/technology.hpp"
+#include "spice/dc.hpp"
+
+namespace ota::spice {
+
+/// Reusable AC analysis for one netlist + operating point.  Construction
+/// extracts the small-signal model once; each solve() builds and factors the
+/// complex MNA matrix at one frequency.
+class AcAnalysis {
+ public:
+  AcAnalysis(const circuit::Netlist& netlist, const device::Technology& tech,
+             const DcSolution& dc);
+
+  /// Complex node voltages at frequency `f_hz`, indexed by NodeId.
+  std::vector<std::complex<double>> solve(double f_hz) const;
+
+  /// Transfer value at the named node (the excitation amplitudes are encoded
+  /// in the sources' ac values, e.g. a +/-0.5 differential pair of sources).
+  std::complex<double> transfer(double f_hz, const std::string& node) const;
+
+  /// Small-signal device parameters used by this analysis.
+  const std::map<std::string, device::SmallSignal>& devices() const {
+    return devices_;
+  }
+
+ private:
+  const circuit::Netlist& netlist_;
+  std::map<std::string, device::SmallSignal> devices_;
+};
+
+}  // namespace ota::spice

@@ -1,0 +1,62 @@
+#include "spice/measure.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace ota::spice {
+
+std::optional<double> find_falling_crossing(const AcAnalysis& ac,
+                                            const std::string& node,
+                                            double target,
+                                            const MeasureOptions& opt) {
+  // Coarse log sweep to bracket the crossing.
+  const double step = std::pow(10.0, 1.0 / opt.points_per_decade);
+  double f_prev = opt.f_low;
+  double m_prev = std::abs(ac.transfer(f_prev, node));
+  if (m_prev <= target) return std::nullopt;  // already below at the start
+
+  for (double f = f_prev * step; f <= opt.f_high * (1.0 + 1e-12); f *= step) {
+    const double m = std::abs(ac.transfer(f, node));
+    if (m <= target) {
+      // Bisect in log-frequency space.
+      double lo = f_prev, hi = f;
+      while (hi / lo - 1.0 > opt.rel_tol) {
+        const double mid = std::sqrt(lo * hi);
+        if (std::abs(ac.transfer(mid, node)) > target) {
+          lo = mid;
+        } else {
+          hi = mid;
+        }
+      }
+      return std::sqrt(lo * hi);
+    }
+    f_prev = f;
+    m_prev = m;
+  }
+  return std::nullopt;
+}
+
+AcMetrics measure_ac(const AcAnalysis& ac, const std::string& node,
+                     const MeasureOptions& opt) {
+  AcMetrics m;
+  const std::complex<double> h0 = ac.transfer(opt.f_low, node);
+  m.gain_linear = std::abs(h0);
+  m.gain_db = 20.0 * std::log10(std::max(m.gain_linear, 1e-30));
+
+  if (auto bw = find_falling_crossing(ac, node, m.gain_linear / std::numbers::sqrt2, opt)) {
+    m.bw_3db_hz = *bw;
+  }
+  if (m.gain_linear > 1.0) {
+    if (auto ugf = find_falling_crossing(ac, node, 1.0, opt)) {
+      m.ugf_hz = *ugf;
+      const std::complex<double> h_ugf = ac.transfer(*ugf, node);
+      // Phase margin relative to the low-frequency phase (the loop inversion
+      // is external to the measured open-loop transfer).
+      double phase = std::arg(h_ugf / h0) * 180.0 / std::numbers::pi;
+      m.phase_margin_deg = 180.0 + phase;
+    }
+  }
+  return m;
+}
+
+}  // namespace ota::spice

@@ -1,0 +1,86 @@
+#include "spice/testbench.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace ota::spice {
+
+namespace {
+
+// Region and saturation checks against the topology's match-group
+// requirements.  The tail devices have no region requirement but must still
+// be saturated to act as current sources.
+void check_regions(const circuit::Topology& topo, EvalResult& r) {
+  r.regions_ok = true;
+  r.saturation_ok = true;
+  for (const auto& group : topo.match_groups) {
+    for (const auto& dev : group.devices) {
+      const auto& ss = r.devices.at(dev);
+      if (ss.conduction != device::Conduction::Saturation) {
+        r.saturation_ok = false;
+      }
+      if (ss.ic < group.min_ic || ss.ic > group.max_ic) {
+        r.regions_ok = false;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+EvalResult evaluate(circuit::Topology& topo, const device::Technology& tech,
+                    const std::vector<double>& widths,
+                    const MeasureOptions& opt) {
+  topo.apply_widths(widths);
+  return evaluate_current(topo, tech, opt);
+}
+
+EvalResult evaluate_current(circuit::Topology& topo,
+                            const device::Technology& tech,
+                            const MeasureOptions& opt) {
+  EvalResult r;
+  r.dc = solve_dc(topo.netlist, tech);
+  AcAnalysis ac(topo.netlist, tech, r.dc);
+  r.metrics = measure_ac(ac, topo.output_node, opt);
+  r.devices = ac.devices();
+  check_regions(topo, r);
+  return r;
+}
+
+std::optional<std::pair<double, double>> input_common_mode_range(
+    circuit::Topology& topo, const device::Technology& tech, double v_step) {
+  // Save the common-mode values to restore afterwards.
+  std::vector<double> saved;
+  for (const auto& src : topo.input_sources) {
+    saved.push_back(topo.netlist.vsource(src).dc);
+  }
+
+  double lo = tech.vdd, hi = 0.0;
+  bool any = false;
+  for (double vcm = 0.0; vcm <= tech.vdd + 1e-12; vcm += v_step) {
+    for (const auto& src : topo.input_sources) {
+      topo.netlist.vsource(src).dc = vcm;
+    }
+    bool ok = false;
+    try {
+      EvalResult r = evaluate_current(topo, tech);
+      ok = r.saturation_ok;
+    } catch (const ConvergenceError&) {
+      ok = false;
+    }
+    if (ok) {
+      lo = std::min(lo, vcm);
+      hi = std::max(hi, vcm);
+      any = true;
+    }
+  }
+
+  for (size_t i = 0; i < topo.input_sources.size(); ++i) {
+    topo.netlist.vsource(topo.input_sources[i]).dc = saved[i];
+  }
+  if (!any) return std::nullopt;
+  return std::make_pair(lo, hi);
+}
+
+}  // namespace ota::spice

@@ -1,0 +1,125 @@
+// Admittance expression language tests: evaluation, rendering, substitution.
+#include "sfg/admittance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace ota::sfg {
+namespace {
+
+Term gm(const std::string& dev, double v, int sign = +1) {
+  return Term{TermKind::Gm, dev, v, sign};
+}
+Term cap(const std::string& name, double v) {
+  return Term{TermKind::Capacitance, name, v, +1};
+}
+
+TEST(Term, ParamNamesAndSymbols) {
+  EXPECT_EQ(gm("M1", 1e-3).param_name(), "gmM1");
+  EXPECT_EQ(gm("M1", 1e-3).symbol(), "gmM1");
+  EXPECT_EQ((Term{TermKind::Gds, "P1", 1e-4, +1}).param_name(), "gdsP1");
+  EXPECT_EQ((Term{TermKind::Cgs, "M0", 1e-15, +1}).symbol(), "sCgsM0");
+  EXPECT_EQ((Term{TermKind::Cds, "M0", 1e-15, +1}).symbol(), "sCdsM0");
+  EXPECT_EQ(cap("C", 1e-12).symbol(), "sC");
+  EXPECT_EQ((Term{TermKind::Conductance, "G", 1e-3, +1}).symbol(), "G");
+  EXPECT_EQ((Term{}).symbol(), "1");
+}
+
+TEST(Term, NumericRenderingMatchesPaperStyle) {
+  // Paper Fig. 4 / Section III-C literals: "2.5mSP1", "s541aFP1".
+  EXPECT_EQ(gm("P1", 2.5e-3).numeric(3), "2.5mSP1");
+  EXPECT_EQ((Term{TermKind::Cgs, "P1", 541e-18, +1}).numeric(3), "s541aFP1");
+  EXPECT_EQ((Term{TermKind::Gds, "M0", 567e-6, +1}).numeric(3), "567uSM0");
+  // Passives stay symbolic in numeric mode.
+  EXPECT_EQ(cap("C", 1e-12).numeric(3), "sC");
+}
+
+TEST(Admittance, UnityAndSingle) {
+  EXPECT_TRUE(Admittance::one().is_unity());
+  EXPECT_EQ(Admittance::one().render_symbolic(), "1");
+  const auto a = Admittance::single(gm("M1", 1e-3, -1));
+  EXPECT_FALSE(a.is_unity());
+  EXPECT_EQ(a.render_symbolic(), "-gmM1");
+}
+
+TEST(Admittance, SumRendering) {
+  Admittance a;
+  a.add(cap("C", 1e-12));
+  a.add(Term{TermKind::Cgs, "M", 0.5e-12, +1});
+  a.add(gm("M", 1e-3));
+  EXPECT_EQ(a.render_symbolic(), "sC+sCgsM+gmM");
+}
+
+TEST(Admittance, InverseRendering) {
+  auto z = Admittance::inverse({cap("C", 1e-12), gm("M", 1e-3)});
+  EXPECT_EQ(z.render_symbolic(), "1/(sC+gmM)");
+}
+
+TEST(Admittance, EvaluateSum) {
+  Admittance a;
+  a.add(Term{TermKind::Conductance, "G", 2e-3, +1});
+  a.add(cap("C", 1e-9));
+  const double f = 1e6;
+  const std::complex<double> s{0.0, 2.0 * std::numbers::pi * f};
+  const auto v = a.evaluate(s);
+  EXPECT_DOUBLE_EQ(v.real(), 2e-3);
+  EXPECT_NEAR(v.imag(), 2.0 * std::numbers::pi * f * 1e-9, 1e-15);
+}
+
+TEST(Admittance, EvaluateInverse) {
+  auto z = Admittance::inverse({Term{TermKind::Conductance, "G", 1e-3, +1}});
+  const auto v = z.evaluate({0.0, 0.0});
+  EXPECT_DOUBLE_EQ(v.real(), 1e3);
+}
+
+TEST(Admittance, EvaluateNegativeTerm) {
+  const auto a = Admittance::single(gm("M", 1e-3, -1));
+  EXPECT_DOUBLE_EQ(a.evaluate({0.0, 0.0}).real(), -1e-3);
+}
+
+TEST(Admittance, InvertingZeroThrows) {
+  auto z = Admittance::inverse({cap("C", 1e-12)});
+  EXPECT_THROW(z.evaluate({0.0, 0.0}), ota::InternalError);  // s = 0 -> sum 0
+}
+
+TEST(Admittance, AddMergesSameParameter) {
+  Admittance a;
+  a.add(gm("M", 1e-3, +1));
+  a.add(gm("M", 4e-4, +1));
+  ASSERT_EQ(a.terms.size(), 1u);
+  EXPECT_DOUBLE_EQ(a.terms[0].value, 1.4e-3);
+  // Opposite signs cancel algebraically.
+  a.add(gm("M", 2e-3, -1));
+  ASSERT_EQ(a.terms.size(), 1u);
+  EXPECT_EQ(a.terms[0].sign, -1);
+  EXPECT_NEAR(a.terms[0].value, 0.6e-3, 1e-12);
+}
+
+TEST(Admittance, SubstituteOnlyTouchesDeviceParams) {
+  Admittance a;
+  a.add(cap("C", 1e-12));
+  a.add(gm("M1", 1e-3));
+  a.substitute({{"gmM1", 5e-3}, {"C", 9e-12}});
+  EXPECT_DOUBLE_EQ(a.terms[0].value, 1e-12);  // passive untouched
+  EXPECT_DOUBLE_EQ(a.terms[1].value, 5e-3);
+  // Unknown names are ignored.
+  a.substitute({{"gmM9", 1.0}});
+  EXPECT_DOUBLE_EQ(a.terms[1].value, 5e-3);
+}
+
+TEST(Admittance, KindPredicates) {
+  EXPECT_TRUE(is_capacitive(TermKind::Capacitance));
+  EXPECT_TRUE(is_capacitive(TermKind::Cgs));
+  EXPECT_TRUE(is_capacitive(TermKind::Cds));
+  EXPECT_FALSE(is_capacitive(TermKind::Gm));
+  EXPECT_TRUE(is_device_param(TermKind::Gm));
+  EXPECT_TRUE(is_device_param(TermKind::Gds));
+  EXPECT_FALSE(is_device_param(TermKind::Conductance));
+  EXPECT_FALSE(is_device_param(TermKind::Unity));
+}
+
+}  // namespace
+}  // namespace ota::sfg

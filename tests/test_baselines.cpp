@@ -1,0 +1,121 @@
+// Baseline optimizer tests (Table IX): each method must reach easy targets
+// and must honestly account for its simulator consumption.
+#include "baselines/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ota::baselines {
+namespace {
+
+class BaselinesTest : public ::testing::Test {
+ protected:
+  device::Technology tech = device::Technology::default65nm();
+
+  // An easy 5T target well inside the feasible region.
+  SizingProblem easy_problem(uint64_t /*seed*/ = 0) {
+    return SizingProblem(circuit::make_5t_ota(tech), tech,
+                         core::Specs{18.0, 4e6, 50e6});
+  }
+};
+
+TEST_F(BaselinesTest, ProblemEvaluateCountsSimulations) {
+  SizingProblem p = easy_problem();
+  EXPECT_EQ(p.simulations(), 0);
+  const std::vector<double> x(p.dims(), 0.5);
+  (void)p.evaluate(x);
+  (void)p.evaluate(x);
+  EXPECT_EQ(p.simulations(), 2);
+}
+
+TEST_F(BaselinesTest, ToWidthsMapsUnitCubeToSweepRange) {
+  SizingProblem p = easy_problem();
+  const auto lo = p.to_widths(std::vector<double>(p.dims(), 0.0));
+  const auto hi = p.to_widths(std::vector<double>(p.dims(), 1.0));
+  for (double w : lo) EXPECT_NEAR(w, 0.7e-6, 1e-12);
+  for (double w : hi) EXPECT_NEAR(w, 50e-6, 1e-10);
+  const auto mid = p.to_widths(std::vector<double>(p.dims(), 0.5));
+  for (double w : mid) EXPECT_NEAR(w, std::sqrt(0.7e-6 * 50e-6), 1e-9);
+}
+
+TEST_F(BaselinesTest, CostIsZeroOnlyWhenAllSpecsMet) {
+  SizingProblem p = easy_problem();
+  // A sizing known to exceed the easy target (from the testbench tests).
+  std::vector<double> good(p.dims());
+  const double lmin = std::log(0.7e-6), lmax = std::log(50e-6);
+  const std::vector<double> widths{4e-6, 12e-6, 6e-6};
+  for (size_t i = 0; i < widths.size(); ++i) {
+    good[i] = (std::log(widths[i]) - lmin) / (lmax - lmin);
+  }
+  EXPECT_DOUBLE_EQ(p.evaluate(good), 0.0);
+
+  // Tiny devices: the 3 uA tail cannot reach a 50 MHz UGF.
+  const double c = p.evaluate(std::vector<double>(p.dims(), 0.0));
+  EXPECT_GT(c, 0.0);
+}
+
+TEST_F(BaselinesTest, SimulatedAnnealingSolvesEasyTarget) {
+  SizingProblem p = easy_problem();
+  SaOptions opt;
+  opt.max_simulations = 800;
+  const OptResult r = simulated_annealing(p, opt);
+  EXPECT_TRUE(r.success);
+  EXPECT_LE(r.simulations, 800);
+  EXPECT_GT(r.simulations, 1);
+  EXPECT_EQ(r.simulations, p.simulations());
+}
+
+TEST_F(BaselinesTest, ParticleSwarmSolvesEasyTarget) {
+  SizingProblem p = easy_problem();
+  PsoOptions opt;
+  opt.max_simulations = 800;
+  const OptResult r = particle_swarm(p, opt);
+  EXPECT_TRUE(r.success);
+  EXPECT_LE(r.simulations, 800);
+}
+
+TEST_F(BaselinesTest, DifferentialEvolutionSolvesEasyTarget) {
+  SizingProblem p = easy_problem();
+  DeOptions opt;
+  opt.max_simulations = 800;
+  const OptResult r = differential_evolution(p, opt);
+  EXPECT_TRUE(r.success);
+  EXPECT_LE(r.simulations, 800);
+}
+
+TEST_F(BaselinesTest, BayesianOptimizationSolvesEasyTarget) {
+  SizingProblem p = easy_problem();
+  BoOptions opt;
+  opt.max_simulations = 80;
+  const OptResult r = bayesian_optimization(p, opt);
+  EXPECT_TRUE(r.success);
+  // BO's selling point: far fewer simulations than the evolutionary methods.
+  EXPECT_LE(r.simulations, 80);
+}
+
+TEST_F(BaselinesTest, BudgetIsRespectedOnImpossibleTarget) {
+  // A target no 5T-OTA in range can reach (gain of 60 dB single-stage).
+  SizingProblem p(circuit::make_5t_ota(tech), tech,
+                  core::Specs{60.0, 50e6, 5e9});
+  SaOptions opt;
+  opt.max_simulations = 60;
+  const OptResult r = simulated_annealing(p, opt);
+  EXPECT_FALSE(r.success);
+  EXPECT_LE(r.simulations, 61);  // one initial + budget loop
+  EXPECT_GT(r.best_cost, 0.0);
+}
+
+TEST_F(BaselinesTest, SolversAreDeterministicPerSeed) {
+  SizingProblem p1 = easy_problem();
+  SizingProblem p2 = easy_problem();
+  SaOptions opt;
+  opt.max_simulations = 200;
+  opt.seed = 77;
+  const OptResult a = simulated_annealing(p1, opt);
+  const OptResult b = simulated_annealing(p2, opt);
+  EXPECT_EQ(a.simulations, b.simulations);
+  EXPECT_DOUBLE_EQ(a.best_cost, b.best_cost);
+  EXPECT_EQ(a.best_x, b.best_x);
+}
+
+}  // namespace
+}  // namespace ota::baselines

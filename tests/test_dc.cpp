@@ -1,0 +1,147 @@
+// Newton DC solver tests: linear sanity, nonlinear devices, full OTAs.
+#include "spice/dc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuit/topologies.hpp"
+#include "common/error.hpp"
+
+namespace ota::spice {
+namespace {
+
+using circuit::Netlist;
+using device::MosType;
+
+class DcTest : public ::testing::Test {
+ protected:
+  device::Technology tech = device::Technology::default65nm();
+};
+
+TEST_F(DcTest, ResistorDivider) {
+  Netlist nl;
+  nl.add_vsource("V1", "in", "0", 1.2);
+  nl.add_resistor("R1", "in", "mid", 1e3);
+  nl.add_resistor("R2", "mid", "0", 1e3);
+  const DcSolution sol = solve_dc(nl, tech);
+  EXPECT_NEAR(sol.voltage(nl, "mid"), 0.6, 1e-9);
+  EXPECT_NEAR(sol.voltage(nl, "in"), 1.2, 1e-12);
+  // Branch current through V1: 1.2 V over 2 kOhm leaves the positive node.
+  EXPECT_NEAR(sol.vsource_current.at("V1"), -0.6e-3, 1e-9);
+}
+
+TEST_F(DcTest, CurrentSourceIntoResistor) {
+  Netlist nl;
+  nl.add_isource("I1", "0", "n", 1e-3);  // pushes 1 mA into n
+  nl.add_resistor("R1", "n", "0", 2e3);
+  const DcSolution sol = solve_dc(nl, tech);
+  EXPECT_NEAR(sol.voltage(nl, "n"), 2.0, 1e-9);
+}
+
+TEST_F(DcTest, CapacitorIsOpenAtDc) {
+  Netlist nl;
+  nl.add_vsource("V1", "in", "0", 1.0);
+  nl.add_resistor("R1", "in", "out", 1e3);
+  nl.add_capacitor("C1", "out", "0", 1e-12);
+  // With the cap open, no current flows: out follows in.  The solver needs
+  // gmin to keep the matrix nonsingular mid-iteration; final answer is exact.
+  const DcSolution sol = solve_dc(nl, tech);
+  EXPECT_NEAR(sol.voltage(nl, "out"), 1.0, 1e-6);
+}
+
+TEST_F(DcTest, DiodeConnectedNmos) {
+  // VDD -> R -> diode-connected NMOS: the gate-drain node settles where
+  // I_R == I_D; check KCL holds at the solution.
+  Netlist nl;
+  nl.add_vsource("VDD", "vdd", "0", 1.2);
+  nl.add_resistor("R1", "vdd", "d", 10e3);
+  nl.add_mosfet("M1", MosType::Nmos, "d", "d", "0", 5e-6, 180e-9);
+  const DcSolution sol = solve_dc(nl, tech);
+  const double vd = sol.voltage(nl, "d");
+  EXPECT_GT(vd, 0.2);
+  EXPECT_LT(vd, 0.9);
+  const double i_r = (1.2 - vd) / 10e3;
+  const device::MosModel m(tech.nmos);
+  const double i_d = m.dc(vd, vd, 0.0, 5e-6, 180e-9).id;
+  EXPECT_NEAR(i_r, i_d, 1e-9);
+}
+
+TEST_F(DcTest, NmosInverterTransfersCorrectly)  {
+  // Common-source stage with resistive load; output should sit well below
+  // VDD when the input is high, near VDD when low.
+  Netlist nl;
+  nl.add_vsource("VDD", "vdd", "0", 1.2);
+  nl.add_vsource("VIN", "g", "0", 1.0);
+  nl.add_resistor("RL", "vdd", "d", 20e3);
+  nl.add_mosfet("M1", MosType::Nmos, "d", "g", "0", 2e-6, 180e-9);
+  DcSolution sol = solve_dc(nl, tech);
+  EXPECT_LT(sol.voltage(nl, "d"), 0.4);
+
+  Netlist nl2;
+  nl2.add_vsource("VDD", "vdd", "0", 1.2);
+  nl2.add_vsource("VIN", "g", "0", 0.1);
+  nl2.add_resistor("RL", "vdd", "d", 20e3);
+  nl2.add_mosfet("M1", MosType::Nmos, "d", "g", "0", 2e-6, 180e-9);
+  sol = solve_dc(nl2, tech);
+  EXPECT_GT(sol.voltage(nl2, "d"), 1.1);
+}
+
+TEST_F(DcTest, FiveTransistorOtaBiasesSensibly) {
+  auto topo = circuit::make_5t_ota(tech);
+  topo.apply_widths({4e-6, 12e-6, 6e-6});
+  const DcSolution sol = solve_dc(topo.netlist, tech);
+  const double vtail = sol.voltage(topo.netlist, "ntail");
+  const double vout = sol.voltage(topo.netlist, "vout");
+  const double vn1 = sol.voltage(topo.netlist, "n1");
+  // Tail node below the input common mode; mirror node one PMOS Vgs below VDD.
+  EXPECT_GT(vtail, 0.05);
+  EXPECT_LT(vtail, 0.7);
+  EXPECT_GT(vn1, 0.5);
+  EXPECT_LT(vn1, 1.15);
+  // With matched halves the output matches the mirror node voltage closely.
+  EXPECT_NEAR(vout, vn1, 0.15);
+}
+
+TEST_F(DcTest, CurrentMirrorOtaBiases) {
+  auto topo = circuit::make_cm_ota(tech);
+  topo.apply_widths({3e-6, 10e-6, 6e-6, 6e-6, 4e-6});
+  const DcSolution sol = solve_dc(topo.netlist, tech);
+  // Diode nodes sit a PMOS Vgs below VDD; the mirror output node is a diode
+  // NMOS Vgs above ground.
+  EXPECT_LT(sol.voltage(topo.netlist, "na"), 1.1);
+  EXPECT_GT(sol.voltage(topo.netlist, "na"), 0.4);
+  EXPECT_GT(sol.voltage(topo.netlist, "nc"), 0.2);
+  EXPECT_LT(sol.voltage(topo.netlist, "nc"), 0.9);
+}
+
+TEST_F(DcTest, TwoStageOtaBiases) {
+  auto topo = circuit::make_2s_ota(tech);
+  topo.apply_widths({4e-6, 12e-6, 6e-6, 10e-6, 3e-6});
+  const DcSolution sol = solve_dc(topo.netlist, tech);
+  const double vout = sol.voltage(topo.netlist, "vout");
+  EXPECT_GT(vout, 0.05);
+  EXPECT_LT(vout, 1.15);
+}
+
+TEST_F(DcTest, SmallSignalMapCoversAllDevices) {
+  auto topo = circuit::make_5t_ota(tech);
+  topo.apply_widths({4e-6, 12e-6, 6e-6});
+  const DcSolution sol = solve_dc(topo.netlist, tech);
+  const auto ss = small_signal_map(topo.netlist, tech, sol);
+  EXPECT_EQ(ss.size(), 5u);
+  for (const auto& [name, p] : ss) {
+    EXPECT_GT(p.gm, 0.0) << name;
+    EXPECT_GT(p.gds, 0.0) << name;
+    EXPECT_GT(p.cgs, 0.0) << name;
+    EXPECT_GT(p.cds, 0.0) << name;
+  }
+  // Matched pairs see identical bias -> identical parameters.
+  EXPECT_NEAR(ss.at("M3").gm, ss.at("M4").gm, ss.at("M3").gm * 0.05);
+}
+
+TEST_F(DcTest, EmptyNetlistThrows) {
+  Netlist nl;
+  EXPECT_THROW(solve_dc(nl, tech), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ota::spice

@@ -1,0 +1,130 @@
+// Mason's gain formula versus MNA AC analysis: the central equivalence that
+// makes DP-SFG sequences a faithful circuit description.
+#include "sfg/mason.hpp"
+
+#include <gtest/gtest.h>
+
+#include <complex>
+
+#include "circuit/topologies.hpp"
+#include "spice/ac.hpp"
+#include "spice/dc.hpp"
+
+namespace ota::sfg {
+namespace {
+
+class MasonTest : public ::testing::Test {
+ protected:
+  device::Technology tech = device::Technology::default65nm();
+
+  // Builds graph + AC reference for a netlist, returning max relative error
+  // of the Mason transfer vs the MNA transfer over a frequency sweep.
+  double max_rel_error(const circuit::Netlist& nl, const std::string& out) {
+    const auto dc = spice::solve_dc(nl, tech);
+    const spice::AcAnalysis ac(nl, tech, dc);
+    const auto devices = spice::small_signal_map(nl, tech, dc);
+    const DpSfg g = DpSfg::build(nl, devices, out);
+    const MasonEvaluator mason(g);
+    double worst = 0.0;
+    for (double f = 1.0; f <= 1e11; f *= 10.0) {
+      const auto h_ref = ac.transfer(f, out);
+      const auto h_sfg = mason.transfer(f);
+      const double err = std::abs(h_sfg - h_ref) /
+                         std::max(std::abs(h_ref), 1e-18);
+      worst = std::max(worst, err);
+    }
+    return worst;
+  }
+};
+
+TEST_F(MasonTest, RcDividerMatchesMna) {
+  circuit::Netlist nl;
+  nl.add_vsource("V1", "in", "0", 0.0, 1.0);
+  nl.add_resistor("R1", "in", "out", 1e3);
+  nl.add_capacitor("C1", "out", "0", 1e-9);
+  EXPECT_LT(max_rel_error(nl, "out"), 1e-9);
+}
+
+TEST_F(MasonTest, TwoNodeRcLadderMatchesMna) {
+  circuit::Netlist nl;
+  nl.add_vsource("V1", "in", "0", 0.0, 1.0);
+  nl.add_resistor("R1", "in", "a", 1e3);
+  nl.add_capacitor("C1", "a", "0", 1e-12);
+  nl.add_resistor("R2", "a", "out", 10e3);
+  nl.add_capacitor("C2", "out", "0", 2e-12);
+  nl.add_capacitor("C3", "in", "out", 0.2e-12);  // feedthrough adds loops
+  EXPECT_LT(max_rel_error(nl, "out"), 1e-9);
+}
+
+TEST_F(MasonTest, ActiveInductorMatchesMna) {
+  // The paper's running example (Fig. 2): transimpedance Vout/Iin.
+  const auto ai = circuit::make_active_inductor(tech);
+  EXPECT_LT(max_rel_error(ai.netlist, ai.output_node), 1e-9);
+}
+
+TEST_F(MasonTest, CommonSourceStageMatchesMna) {
+  circuit::Netlist nl;
+  nl.add_vsource("VDD", "vdd", "0", 1.2);
+  nl.add_vsource("VIN", "g", "0", 0.45, 1.0);
+  nl.add_resistor("RL", "vdd", "d", 80e3);
+  nl.add_capacitor("CL", "d", "0", 1e-12);
+  nl.add_mosfet("M1", device::MosType::Nmos, "d", "g", "0", 1e-6, 180e-9);
+  EXPECT_LT(max_rel_error(nl, "d"), 1e-9);
+}
+
+TEST_F(MasonTest, FiveTransistorOtaMatchesMna) {
+  auto topo = circuit::make_5t_ota(tech);
+  topo.apply_widths({4e-6, 12e-6, 6e-6});
+  EXPECT_LT(max_rel_error(topo.netlist, topo.output_node), 1e-8);
+}
+
+TEST_F(MasonTest, CurrentMirrorOtaMatchesMna) {
+  auto topo = circuit::make_cm_ota(tech);
+  topo.apply_widths({3e-6, 10e-6, 6e-6, 6e-6, 4e-6});
+  EXPECT_LT(max_rel_error(topo.netlist, topo.output_node), 1e-8);
+}
+
+TEST_F(MasonTest, TwoStageOtaMatchesMna) {
+  auto topo = circuit::make_2s_ota(tech);
+  topo.apply_widths({4e-6, 12e-6, 6e-6, 10e-6, 3e-6});
+  EXPECT_LT(max_rel_error(topo.netlist, topo.output_node), 1e-8);
+}
+
+class MasonWidthSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(MasonWidthSweep, FiveTransistorAgreementAcrossSizings) {
+  // Property: SFG/MNA equivalence holds across the width range of the paper's
+  // data-generation sweep (0.7-50 um).
+  const auto tech = device::Technology::default65nm();
+  auto topo = circuit::make_5t_ota(tech);
+  const double w = GetParam();
+  topo.apply_widths({w * 0.4, w, w * 0.5});
+  const auto dc = spice::solve_dc(topo.netlist, tech);
+  const spice::AcAnalysis ac(topo.netlist, tech, dc);
+  const auto devices = spice::small_signal_map(topo.netlist, tech, dc);
+  const DpSfg g = DpSfg::build(topo.netlist, devices, topo.output_node);
+  const MasonEvaluator mason(g);
+  for (double f : {10.0, 1e6, 1e9}) {
+    const auto h_ref = ac.transfer(f, topo.output_node);
+    const auto h_sfg = mason.transfer(f);
+    EXPECT_LT(std::abs(h_sfg - h_ref), std::abs(h_ref) * 1e-8 + 1e-15)
+        << "w=" << w << " f=" << f;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, MasonWidthSweep,
+                         ::testing::Values(0.7e-6, 1.5e-6, 3e-6, 7e-6, 15e-6,
+                                           30e-6, 50e-6));
+
+TEST_F(MasonTest, TransferFromRequiresExcitationVertex) {
+  const auto ai = circuit::make_active_inductor(tech);
+  const auto dc = spice::solve_dc(ai.netlist, tech);
+  const auto devices = spice::small_signal_map(ai.netlist, tech, dc);
+  const DpSfg g = DpSfg::build(ai.netlist, devices, ai.output_node);
+  const MasonEvaluator mason(g);
+  EXPECT_THROW((void)mason.transfer_from(g.output_vertex(), 1.0),
+               ota::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ota::sfg

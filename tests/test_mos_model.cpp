@@ -1,0 +1,165 @@
+// EKV compact-model tests: the properties the sizing flow depends on.
+#include "device/mos_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ota::device {
+namespace {
+
+class MosModelTest : public ::testing::Test {
+ protected:
+  Technology tech = Technology::default65nm();
+  MosModel nmos{tech.nmos};
+  MosModel pmos{tech.pmos};
+  static constexpr double kL = 180e-9;
+  static constexpr double kW = 5e-6;
+};
+
+TEST_F(MosModelTest, CurrentIncreasesWithVgs) {
+  double prev = nmos.evaluate(0.2, 0.6, kW, kL).id;
+  for (double vgs = 0.3; vgs <= 1.2; vgs += 0.1) {
+    const double id = nmos.evaluate(vgs, 0.6, kW, kL).id;
+    EXPECT_GT(id, prev) << "vgs=" << vgs;
+    prev = id;
+  }
+}
+
+TEST_F(MosModelTest, WeakInversionIsExponential) {
+  // In weak inversion Id should grow ~exp(Vgs / (n phi_t)): check the slope.
+  const double v1 = 0.15, v2 = 0.20;
+  const double i1 = nmos.evaluate(v1, 0.6, kW, kL).id;
+  const double i2 = nmos.evaluate(v2, 0.6, kW, kL).id;
+  const double slope = std::log(i2 / i1) / (v2 - v1);
+  const double expected = 1.0 / (tech.nmos.n * tech.nmos.phi_t);
+  EXPECT_NEAR(slope, expected, expected * 0.05);
+}
+
+TEST_F(MosModelTest, StrongInversionIsRoughlyQuadratic) {
+  // Far above threshold, Id ~ (Vgs - VT)^2 (before CLM): compare at two
+  // overdrives with a generous tolerance for the EKV interpolation.
+  const double vt = tech.nmos.vt0;
+  const double i1 = nmos.evaluate(vt + 0.3, 1.2, kW, kL).id;
+  const double i2 = nmos.evaluate(vt + 0.6, 1.2, kW, kL).id;
+  EXPECT_NEAR(i2 / i1, 4.0, 0.8);
+}
+
+TEST_F(MosModelTest, AllFiveOutputsScaleLinearlyWithWidth) {
+  // This is the exact property (Section III-D.1) that lets the paper store
+  // per-unit-width LUT entries.
+  const SmallSignal a = nmos.evaluate(0.6, 0.6, 1e-6, kL);
+  const SmallSignal b = nmos.evaluate(0.6, 0.6, 7e-6, kL);
+  EXPECT_NEAR(b.id / a.id, 7.0, 1e-9);
+  EXPECT_NEAR(b.gm / a.gm, 7.0, 1e-9);
+  EXPECT_NEAR(b.gds / a.gds, 7.0, 1e-9);
+  EXPECT_NEAR(b.cgs / a.cgs, 7.0, 1e-9);
+  EXPECT_NEAR(b.cds / a.cds, 7.0, 1e-9);
+}
+
+TEST_F(MosModelTest, GmOverIdIsWidthIndependent) {
+  // Cornerstone of the gm/Id methodology (Section III-D.1).
+  for (double vgs : {0.3, 0.45, 0.6, 0.9}) {
+    const SmallSignal a = nmos.evaluate(vgs, 0.6, 0.7e-6, kL);
+    const SmallSignal b = nmos.evaluate(vgs, 0.6, 50e-6, kL);
+    EXPECT_NEAR(a.gm / a.id, b.gm / b.id, 1e-9 * a.gm / a.id);
+  }
+}
+
+TEST_F(MosModelTest, GmOverIdDecreasesWithVgs) {
+  // gm/Id is highest in weak inversion and falls toward strong inversion.
+  double prev = 1e9;
+  for (double vgs = 0.2; vgs <= 1.1; vgs += 0.15) {
+    const SmallSignal ss = nmos.evaluate(vgs, 0.6, kW, kL);
+    const double gmid = ss.gm / ss.id;
+    EXPECT_LT(gmid, prev);
+    prev = gmid;
+  }
+  // Weak-inversion asymptote: gm/Id -> 1/(n phi_t) ~ 29.7 /V.
+  const SmallSignal wi = nmos.evaluate(0.1, 0.6, kW, kL);
+  EXPECT_NEAR(wi.gm / wi.id, 1.0 / (tech.nmos.n * tech.nmos.phi_t), 2.0);
+}
+
+TEST_F(MosModelTest, DcDerivativesMatchFiniteDifferences) {
+  const double h = 1e-7;
+  for (const MosModel* model : {&nmos, &pmos}) {
+    for (double vg : {0.3, 0.6, 0.9}) {
+      for (double vd : {0.2, 0.6, 1.1}) {
+        const double vs = model == &pmos ? 1.2 : 0.0;
+        const DcEval e = model->dc(vg, vd, vs, kW, kL);
+        const double fd_g =
+            (model->dc(vg + h, vd, vs, kW, kL).id - model->dc(vg - h, vd, vs, kW, kL).id) / (2 * h);
+        const double fd_d =
+            (model->dc(vg, vd + h, vs, kW, kL).id - model->dc(vg, vd - h, vs, kW, kL).id) / (2 * h);
+        const double fd_s =
+            (model->dc(vg, vd, vs + h, kW, kL).id - model->dc(vg, vd, vs - h, kW, kL).id) / (2 * h);
+        const double scale = std::max(1e-6, std::fabs(e.id));
+        EXPECT_NEAR(e.di_dvg, fd_g, scale * 1e-3) << "vg=" << vg << " vd=" << vd;
+        EXPECT_NEAR(e.di_dvd, fd_d, scale * 1e-3);
+        EXPECT_NEAR(e.di_dvs, fd_s, scale * 1e-3);
+      }
+    }
+  }
+}
+
+TEST_F(MosModelTest, PmosMirrorsNmosBehaviour) {
+  // A PMOS with source at VDD conducts when the gate drops below VDD - VT.
+  const DcEval off = pmos.dc(/*vg=*/1.2, /*vd=*/0.6, /*vs=*/1.2, kW, kL);
+  const DcEval on = pmos.dc(/*vg=*/0.5, /*vd=*/0.6, /*vs=*/1.2, kW, kL);
+  EXPECT_LT(std::fabs(off.id), 1e-7);
+  // PMOS current flows source -> drain: negative in the into-drain convention.
+  EXPECT_LT(on.id, -1e-6);
+}
+
+TEST_F(MosModelTest, RegionClassification) {
+  EXPECT_EQ(nmos.evaluate(0.05, 0.6, kW, kL).region, Region::Off);
+  EXPECT_EQ(nmos.evaluate(0.25, 0.6, kW, kL).region, Region::WeakInversion);
+  EXPECT_EQ(nmos.evaluate(0.50, 0.6, kW, kL).region, Region::ModerateInversion);
+  EXPECT_EQ(nmos.evaluate(1.10, 0.6, kW, kL).region, Region::StrongInversion);
+}
+
+TEST_F(MosModelTest, ConductionClassification) {
+  EXPECT_EQ(nmos.evaluate(0.6, 1.0, kW, kL).conduction, Conduction::Saturation);
+  EXPECT_EQ(nmos.evaluate(1.0, 0.05, kW, kL).conduction, Conduction::Triode);
+  EXPECT_EQ(nmos.evaluate(0.05, 0.6, kW, kL).conduction, Conduction::Cutoff);
+}
+
+TEST_F(MosModelTest, GdsPositiveAndFallsFromTriodeToSaturation) {
+  const SmallSignal triode = nmos.evaluate(0.9, 0.05, kW, kL);
+  const SmallSignal sat = nmos.evaluate(0.9, 1.0, kW, kL);
+  EXPECT_GT(triode.gds, 0.0);
+  EXPECT_GT(sat.gds, 0.0);
+  EXPECT_GT(triode.gds, sat.gds);
+}
+
+TEST_F(MosModelTest, CapacitancesBehave) {
+  // Cgs grows with inversion level; Cds shrinks with reverse bias.
+  const SmallSignal off = nmos.evaluate(0.1, 0.6, kW, kL);
+  const SmallSignal on = nmos.evaluate(1.0, 0.6, kW, kL);
+  EXPECT_GT(on.cgs, off.cgs);
+  const SmallSignal lo = nmos.evaluate(0.8, 0.1, kW, kL);
+  const SmallSignal hi = nmos.evaluate(0.8, 1.1, kW, kL);
+  EXPECT_GT(lo.cds, hi.cds);
+  // Magnitudes: fF-scale for um-scale devices (65 nm-like plausibility).
+  EXPECT_GT(on.cgs, 1e-16);
+  EXPECT_LT(on.cgs, 1e-13);
+}
+
+TEST_F(MosModelTest, InvalidGeometryThrows) {
+  EXPECT_THROW(nmos.evaluate(0.6, 0.6, 0.0, kL), ota::InvalidArgument);
+  EXPECT_THROW(nmos.evaluate(0.6, 0.6, kW, -1.0), ota::InvalidArgument);
+}
+
+TEST_F(MosModelTest, IntrinsicGainIsRealisticForShortChannel) {
+  // gm/gds at L = 180 nm should be around 10-20 (the paper's 5T-OTA gains of
+  // 18-23 dB demand a low intrinsic gain).
+  const SmallSignal ss = nmos.evaluate(0.45, 0.6, kW, kL);
+  const double av = ss.gm / ss.gds;
+  EXPECT_GT(av, 4.0);
+  EXPECT_LT(av, 60.0);
+}
+
+}  // namespace
+}  // namespace ota::device

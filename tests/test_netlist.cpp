@@ -1,0 +1,78 @@
+#include "circuit/netlist.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace ota::circuit {
+namespace {
+
+TEST(Netlist, NodeCreationAndLookup) {
+  Netlist nl;
+  EXPECT_EQ(nl.node("0"), kGround);
+  EXPECT_EQ(nl.node("gnd"), kGround);
+  const NodeId a = nl.node("a");
+  const NodeId b = nl.node("b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(nl.node("a"), a);  // idempotent
+  EXPECT_EQ(nl.find_node("b"), b);
+  EXPECT_EQ(nl.node_name(a), "a");
+  EXPECT_EQ(nl.node_count(), 3);  // ground + a + b
+  EXPECT_THROW(nl.find_node("zz"), InvalidArgument);
+}
+
+TEST(Netlist, AddComponents) {
+  Netlist nl;
+  nl.add_resistor("R1", "a", "0", 1e3);
+  nl.add_capacitor("C1", "a", "b", 1e-12);
+  nl.add_vsource("V1", "b", "0", 1.2);
+  nl.add_isource("I1", "a", "0", 1e-6);
+  nl.add_mosfet("M1", device::MosType::Nmos, "a", "b", "0", 1e-6, 180e-9);
+  EXPECT_EQ(nl.resistors().size(), 1u);
+  EXPECT_EQ(nl.capacitors().size(), 1u);
+  EXPECT_EQ(nl.vsources().size(), 1u);
+  EXPECT_EQ(nl.isources().size(), 1u);
+  EXPECT_EQ(nl.mosfets().size(), 1u);
+  EXPECT_TRUE(nl.has_component("M1"));
+  EXPECT_FALSE(nl.has_component("M2"));
+}
+
+TEST(Netlist, DuplicateNamesRejectedAcrossKinds) {
+  Netlist nl;
+  nl.add_resistor("X", "a", "0", 1e3);
+  EXPECT_THROW(nl.add_capacitor("X", "a", "0", 1e-12), InvalidArgument);
+  EXPECT_THROW(nl.add_mosfet("X", device::MosType::Nmos, "a", "b", "0", 1e-6, 1e-7),
+               InvalidArgument);
+}
+
+TEST(Netlist, InvalidComponentValuesRejected) {
+  Netlist nl;
+  EXPECT_THROW(nl.add_resistor("R", "a", "0", 0.0), InvalidArgument);
+  EXPECT_THROW(nl.add_capacitor("C", "a", "0", -1e-12), InvalidArgument);
+  EXPECT_THROW(nl.add_mosfet("M", device::MosType::Nmos, "a", "b", "0", 0.0, 1e-7),
+               InvalidArgument);
+}
+
+TEST(Netlist, SetWidth) {
+  Netlist nl;
+  nl.add_mosfet("M1", device::MosType::Pmos, "d", "g", "s", 1e-6, 180e-9);
+  nl.set_width("M1", 42e-6);
+  EXPECT_DOUBLE_EQ(nl.mosfet("M1").w, 42e-6);
+  EXPECT_THROW(nl.set_width("M1", -1.0), InvalidArgument);
+  EXPECT_THROW(nl.set_width("Mx", 1e-6), InvalidArgument);
+}
+
+TEST(Netlist, MutableAccessors) {
+  Netlist nl;
+  nl.add_vsource("V1", "a", "0", 1.0, 0.5);
+  nl.add_capacitor("C1", "a", "0", 1e-12);
+  nl.vsource("V1").dc = 0.8;
+  nl.capacitor("C1").capacitance = 2e-12;
+  EXPECT_DOUBLE_EQ(nl.vsources()[0].dc, 0.8);
+  EXPECT_DOUBLE_EQ(nl.capacitors()[0].capacitance, 2e-12);
+  EXPECT_THROW(nl.vsource("nope"), InvalidArgument);
+  EXPECT_THROW(nl.capacitor("nope"), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ota::circuit

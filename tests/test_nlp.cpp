@@ -1,0 +1,173 @@
+// Tokenizer tests: vocabulary, CLT, restricted BPE (Section III-C).
+#include "nlp/bpe.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+
+namespace ota::nlp {
+namespace {
+
+TEST(Vocabulary, SpecialTokensReserved) {
+  Vocabulary v;
+  EXPECT_EQ(v.piece(Vocabulary::kPad), "<pad>");
+  EXPECT_EQ(v.piece(Vocabulary::kBos), "<bos>");
+  EXPECT_EQ(v.piece(Vocabulary::kEos), "<eos>");
+  EXPECT_EQ(v.piece(Vocabulary::kUnk), "<unk>");
+  EXPECT_EQ(v.size(), 4u);
+}
+
+TEST(Vocabulary, AddIsIdempotent) {
+  Vocabulary v;
+  const TokenId a = v.add("gm");
+  EXPECT_EQ(v.add("gm"), a);
+  EXPECT_EQ(v.id("gm"), a);
+  EXPECT_EQ(v.id("nope"), Vocabulary::kUnk);
+  EXPECT_TRUE(v.contains("gm"));
+  EXPECT_FALSE(v.contains("nope"));
+  EXPECT_THROW(v.piece(9999), ota::InvalidArgument);
+}
+
+TEST(NumericToken, Classification) {
+  EXPECT_TRUE(is_numeric_token("2"));
+  EXPECT_TRUE(is_numeric_token("2.5"));
+  EXPECT_TRUE(is_numeric_token("."));  // part of a number being spelled out
+  EXPECT_FALSE(is_numeric_token(""));
+  EXPECT_FALSE(is_numeric_token("mS"));
+  EXPECT_FALSE(is_numeric_token("P1"));   // identifier, not a number
+  EXPECT_FALSE(is_numeric_token("2a"));
+}
+
+TEST(CharTokens, OnePerCharacter) {
+  const auto toks = char_tokens("gm 2.5");
+  EXPECT_EQ(toks.size(), 6u);
+  EXPECT_EQ(toks[0], "g");
+  EXPECT_EQ(toks[2], " ");
+  EXPECT_EQ(toks[3], "2");
+}
+
+class BpeTest : public ::testing::Test {
+ protected:
+  // A miniature sequence corpus in the paper's notation.
+  std::vector<std::string> corpus{
+      "Iin 1 In1 1/(sC+gdsM0+sCdsM0+sCgsM0) Vn1 1 Vout",
+      "In1 1/(sC+gdsM0+sCdsM0+sCgsM0) Vn1 sC+sCgsM0 In2",
+      "32 2.5mSP1 -16 1/(567uSM0+s0.7aFM0+s541aFP1+2.5mSP1)",
+      "gmP1 gdsM0 CdsM0 CgsM0 gmP1 gdsM0",
+      "12 3.77 900aF 2.5mS 101uS gmP1 gmP1 gmP1",
+  };
+};
+
+TEST_F(BpeTest, LearnsFrequentMerges) {
+  const BpeTokenizer tok = BpeTokenizer::train(corpus, {.num_merges = 200});
+  EXPECT_GT(tok.merges().size(), 10u);
+  // Frequent multi-char fragments become single pieces.
+  const auto pieces = tok.encode_pieces("gmP1");
+  EXPECT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0], "gmP1");
+}
+
+TEST_F(BpeTest, NumericStringsStayCharacterLevel) {
+  // Paper: "all purely numeric strings are left uncombined".
+  const BpeTokenizer tok = BpeTokenizer::train(corpus, {.num_merges = 400});
+  for (const std::string number : {"2.5", "567", "3.77", "101"}) {
+    const auto pieces = tok.encode_pieces(number);
+    EXPECT_EQ(pieces.size(), number.size()) << number;
+    for (const auto& p : pieces) {
+      EXPECT_EQ(p.size(), 1u) << number;
+    }
+  }
+}
+
+TEST_F(BpeTest, UnitsMergeButValuesDoNot) {
+  // "2.5mS" -> '2' '.' '5' 'mS...' : the unit fragment merges, digits do not.
+  const BpeTokenizer tok = BpeTokenizer::train(corpus, {.num_merges = 400});
+  const auto pieces = tok.encode_pieces("2.5mS");
+  ASSERT_GE(pieces.size(), 4u);
+  EXPECT_EQ(pieces[0], "2");
+  EXPECT_EQ(pieces[1], ".");
+  EXPECT_EQ(pieces[2], "5");
+  // Whatever follows the digits contains no digits of the value.
+  for (size_t i = 3; i < pieces.size(); ++i) {
+    EXPECT_FALSE(is_numeric_token(pieces[i]));
+  }
+}
+
+TEST_F(BpeTest, VanillaBpeWouldMergeNumbers) {
+  // With protection off, frequent numeric pairs do merge — demonstrating the
+  // restriction is doing something.
+  const BpeTokenizer vanilla =
+      BpeTokenizer::train(corpus, {.num_merges = 400, .protect_numeric = false});
+  const BpeTokenizer restricted =
+      BpeTokenizer::train(corpus, {.num_merges = 400, .protect_numeric = true});
+  const auto vp = vanilla.encode_pieces("2.5mSP1");
+  const auto rp = restricted.encode_pieces("2.5mSP1");
+  // Unrestricted merging swallows the value digits into larger pieces.
+  EXPECT_LT(vp.size(), rp.size());
+  bool digit_inside_multichar = false;
+  for (const auto& p : vp) {
+    if (p.size() > 1 && p.find_first_of("0123456789") != std::string::npos &&
+        p.find_first_of(".") != std::string::npos) {
+      digit_inside_multichar = true;
+    }
+  }
+  EXPECT_TRUE(digit_inside_multichar);
+}
+
+TEST_F(BpeTest, EncodeDecodeRoundTrip) {
+  const BpeTokenizer tok = BpeTokenizer::train(corpus, {.num_merges = 300});
+  for (const auto& line : corpus) {
+    const auto ids = tok.encode(line, /*add_bos_eos=*/true);
+    EXPECT_EQ(ids.front(), Vocabulary::kBos);
+    EXPECT_EQ(ids.back(), Vocabulary::kEos);
+    EXPECT_EQ(tok.decode(ids), line);
+  }
+}
+
+TEST_F(BpeTest, CompressionBeatsClt) {
+  const BpeTokenizer tok = BpeTokenizer::train(corpus, {.num_merges = 400});
+  const double ratio = tok.compression_vs_clt(corpus);
+  // The paper reports 3.77x on its OTA corpus; on this miniature corpus we
+  // only require material compression.
+  EXPECT_GT(ratio, 1.5);
+}
+
+TEST_F(BpeTest, MergesNeverCrossWordBoundaries) {
+  const BpeTokenizer tok = BpeTokenizer::train(corpus, {.num_merges = 400});
+  const auto pieces = tok.encode_pieces("gmP1 gmP1");
+  // Expect exactly: "gmP1", " ", "gmP1".
+  ASSERT_EQ(pieces.size(), 3u);
+  EXPECT_EQ(pieces[1], " ");
+}
+
+TEST_F(BpeTest, SerializationRoundTrip) {
+  const BpeTokenizer tok = BpeTokenizer::train(corpus, {.num_merges = 300});
+  const BpeTokenizer back = BpeTokenizer::deserialize(tok.serialize());
+  EXPECT_EQ(back.merges(), tok.merges());
+  for (const auto& line : corpus) {
+    EXPECT_EQ(back.encode_pieces(line), tok.encode_pieces(line)) << line;
+  }
+}
+
+TEST_F(BpeTest, DeserializeRejectsGarbage) {
+  EXPECT_THROW(BpeTokenizer::deserialize("not-a-tokenizer"), ota::InvalidArgument);
+}
+
+TEST_F(BpeTest, UnknownCharactersEncodeToUnk) {
+  const BpeTokenizer tok = BpeTokenizer::train(corpus, {.num_merges = 100});
+  const auto ids = tok.encode("@@@");
+  for (TokenId id : ids) EXPECT_EQ(id, Vocabulary::kUnk);
+}
+
+TEST_F(BpeTest, MinPairCountStopsEarly) {
+  const BpeTokenizer tok =
+      BpeTokenizer::train(corpus, {.num_merges = 10000, .min_pair_count = 5});
+  const BpeTokenizer full =
+      BpeTokenizer::train(corpus, {.num_merges = 10000, .min_pair_count = 2});
+  EXPECT_LT(tok.merges().size(), full.merges().size());
+}
+
+}  // namespace
+}  // namespace ota::nlp

@@ -1,0 +1,122 @@
+// Sequence-builder tests: both representations, round-trip through parse.
+#include "core/sequence_builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/strings.hpp"
+
+namespace ota::core {
+namespace {
+
+class SequenceBuilderTest : public ::testing::Test {
+ protected:
+  device::Technology tech = device::Technology::default65nm();
+  circuit::Topology topo = circuit::make_5t_ota(tech);
+
+  Design sample_design() {
+    auto t = circuit::make_5t_ota(tech);
+    const auto r = spice::evaluate(t, tech, {4e-6, 12e-6, 6e-6});
+    return Design{{4e-6, 12e-6, 6e-6},
+                  Specs{r.metrics.gain_db, r.metrics.bw_3db_hz, r.metrics.ugf_hz},
+                  r.devices};
+  }
+};
+
+TEST_F(SequenceBuilderTest, CompactSlotsCoverGroupsTimesFiveParams) {
+  const SequenceBuilder b(topo, tech);
+  // 3 match groups x {gm, gds, Cds, Cgs, Id}.
+  EXPECT_EQ(b.slots().size(), 15u);
+  EXPECT_EQ(b.representatives(), (std::vector<std::string>{"M1", "M3", "M5"}));
+  EXPECT_EQ(b.slots()[0].name, "gmM1");
+  EXPECT_EQ(b.slots()[4].name, "IdM1");
+}
+
+TEST_F(SequenceBuilderTest, EncoderSkeletonIsSpecIndependent) {
+  const SequenceBuilder b(topo, tech);
+  const std::string a = b.encoder_text(Specs{20.0, 10e6, 100e6});
+  const std::string c = b.encoder_text(Specs{22.0, 20e6, 300e6});
+  // Identical up to the SPEC block.
+  const auto cut = [](const std::string& s) {
+    return s.substr(0, s.find(" SPEC "));
+  };
+  EXPECT_EQ(cut(a), cut(c));
+  EXPECT_NE(a, c);
+  EXPECT_NE(a.find("SPEC 20dB 10MHz 100MHz"), std::string::npos);
+}
+
+TEST_F(SequenceBuilderTest, CompactDecoderRoundTripsThroughParse) {
+  const SequenceBuilder b(topo, tech);
+  const Design d = sample_design();
+  const std::string text = b.decoder_text(d);
+  const auto parsed = b.parse_decoder(text);
+  ASSERT_EQ(parsed.size(), 15u);
+  // Values survive the default 2-significant-digit formatting within ~3%.
+  EXPECT_NEAR(parsed.at("gmM3"), d.devices.at("M3").gm,
+              d.devices.at("M3").gm * 0.03);
+  EXPECT_NEAR(parsed.at("CdsM1"), d.devices.at("M1").cds,
+              d.devices.at("M1").cds * 0.03);
+  EXPECT_NEAR(parsed.at("IdM5"), d.devices.at("M5").id,
+              d.devices.at("M5").id * 0.03);
+}
+
+TEST_F(SequenceBuilderTest, ParseToleratesCorruption) {
+  const SequenceBuilder b(topo, tech);
+  const Design d = sample_design();
+  std::string text = b.decoder_text(d);
+  // Corrupt one value token into garbage.
+  const size_t pos = text.find("gdsM3");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(text.find(' ', pos) + 1, 3, "@@@");
+  const auto parsed = b.parse_decoder(text);
+  EXPECT_EQ(parsed.count("gdsM3"), 0u);  // corrupted slot dropped
+  EXPECT_GT(parsed.size(), 10u);         // others still parsed
+}
+
+TEST_F(SequenceBuilderTest, ParseIgnoresNegativeAndZeroValues) {
+  const SequenceBuilder b(topo, tech);
+  const auto parsed = b.parse_decoder("gmM1 -2.5mS gdsM1 0S CgsM1 1fF");
+  EXPECT_EQ(parsed.count("gmM1"), 0u);
+  EXPECT_EQ(parsed.count("gdsM1"), 0u);
+  EXPECT_EQ(parsed.count("CgsM1"), 1u);
+}
+
+TEST_F(SequenceBuilderTest, FullPathsEncoderContainsPathsAndSpecs) {
+  const SequenceBuilder b(topo, tech, SequenceMode::FullPaths);
+  const std::string enc = b.encoder_text(Specs{20.0, 10e6, 100e6});
+  EXPECT_NE(enc.find("VIP"), std::string::npos);    // excitation vertex
+  EXPECT_NE(enc.find("gmM3"), std::string::npos);   // symbolic parameter
+  EXPECT_NE(enc.find(" | "), std::string::npos);    // line separator
+  EXPECT_NE(enc.find("SPEC"), std::string::npos);
+}
+
+TEST_F(SequenceBuilderTest, FullPathsDecoderSubstitutesValues) {
+  const SequenceBuilder b(topo, tech, SequenceMode::FullPaths);
+  const Design d = sample_design();
+  const std::string dec = b.decoder_text(d);
+  // Symbolic parameter names replaced by SI values with device suffixes.
+  EXPECT_EQ(dec.find("gmM3+"), std::string::npos);
+  EXPECT_NE(dec.find("SM3"), std::string::npos);  // e.g. "505uSM3"
+}
+
+TEST_F(SequenceBuilderTest, FullPathsParseRecoversValues) {
+  const SequenceBuilder b(topo, tech, SequenceMode::FullPaths);
+  const Design d = sample_design();
+  const auto parsed = b.parse_decoder(b.decoder_text(d));
+  // The differential 5T DP-SFG exposes 18 parameters (tail gm/Cgs absent).
+  EXPECT_GE(parsed.size(), 10u);
+  ASSERT_EQ(parsed.count("gmM3"), 1u);
+  EXPECT_NEAR(parsed.at("gmM3"), d.devices.at("M3").gm,
+              d.devices.at("M3").gm * 0.03);
+  ASSERT_EQ(parsed.count("CgsM3"), 1u);
+  EXPECT_NEAR(parsed.at("CgsM3"), d.devices.at("M3").cgs,
+              d.devices.at("M3").cgs * 0.03);
+}
+
+TEST_F(SequenceBuilderTest, SpecTextFormatting) {
+  const SequenceBuilder b(topo, tech);
+  EXPECT_EQ(b.spec_text(Specs{20.13, 11.38e6, 118.78e6}),
+            "SPEC 20.1dB 11.4MHz 119MHz");
+}
+
+}  // namespace
+}  // namespace ota::core

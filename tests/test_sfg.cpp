@@ -1,0 +1,183 @@
+// DP-SFG construction tests against the paper's Fig. 2 running example, plus
+// structural checks on the OTA graphs.
+#include "sfg/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "circuit/topologies.hpp"
+#include "common/error.hpp"
+#include "sfg/sequence.hpp"
+#include "spice/dc.hpp"
+
+namespace ota::sfg {
+namespace {
+
+class SfgTest : public ::testing::Test {
+ protected:
+  device::Technology tech = device::Technology::default65nm();
+
+  DpSfg build_active_inductor() {
+    auto ai = circuit::make_active_inductor(tech);
+    const auto dc = spice::solve_dc(ai.netlist, tech);
+    const auto devices = spice::small_signal_map(ai.netlist, tech, dc);
+    netlist = ai.netlist;
+    return DpSfg::build(netlist, devices, ai.output_node);
+  }
+
+  circuit::Netlist netlist;
+};
+
+TEST_F(SfgTest, ActiveInductorVertices) {
+  const DpSfg g = build_active_inductor();
+  // Excitation Iin, I/V pairs for the two floating nodes, Output: 6 vertices.
+  ASSERT_EQ(g.vertices().size(), 6u);
+  EXPECT_NO_THROW(g.vertex_index("Iin"));
+  EXPECT_NO_THROW(g.vertex_index("In1"));
+  EXPECT_NO_THROW(g.vertex_index("Vn1"));
+  EXPECT_NO_THROW(g.vertex_index("In2"));
+  EXPECT_NO_THROW(g.vertex_index("Vn2"));
+  EXPECT_NO_THROW(g.vertex_index("Vout"));
+  EXPECT_THROW(g.vertex_index("Vzz"), InvalidArgument);
+}
+
+TEST_F(SfgTest, ActiveInductorDrivingPointImpedances) {
+  // Paper Fig. 2(b): z1 = 1/(sC + sCds + sCgs + gds), z2 = 1/(sC + sCgs + G).
+  const DpSfg g = build_active_inductor();
+  const int i1 = g.vertex_index("In1");
+  const int v1 = g.vertex_index("Vn1");
+  const Edge* z1 = nullptr;
+  for (int ei : g.out_edges(i1)) {
+    if (g.edges()[static_cast<size_t>(ei)].to == v1) z1 = &g.edges()[static_cast<size_t>(ei)];
+  }
+  ASSERT_NE(z1, nullptr);
+  EXPECT_TRUE(z1->weight.inverted);
+  // Terms: C (passive), CdsM, CgsM, gdsM.
+  std::vector<std::string> names;
+  for (const auto& t : z1->weight.terms) names.push_back(t.param_name());
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(names, (std::vector<std::string>{"C", "CdsM", "CgsM", "gdsM"}));
+
+  const int i2 = g.vertex_index("In2");
+  const int v2 = g.vertex_index("Vn2");
+  const Edge* z2 = nullptr;
+  for (int ei : g.out_edges(i2)) {
+    if (g.edges()[static_cast<size_t>(ei)].to == v2) z2 = &g.edges()[static_cast<size_t>(ei)];
+  }
+  ASSERT_NE(z2, nullptr);
+  std::vector<std::string> names2;
+  for (const auto& t : z2->weight.terms) names2.push_back(t.param_name());
+  std::sort(names2.begin(), names2.end());
+  // Our conductance is the resistor component name ("G" in the builder).
+  EXPECT_EQ(names2, (std::vector<std::string>{"C", "CgsM", "G"}));
+}
+
+TEST_F(SfgTest, ActiveInductorGmEdges) {
+  // Fig. 2(b): edge V1 -> I1 carries -gm (the transistor's source self-loop
+  // through z1) and edge V2 -> I1 carries sC + sCgs + gm.
+  const DpSfg g = build_active_inductor();
+  const int i1 = g.vertex_index("In1");
+  const int v1 = g.vertex_index("Vn1");
+  const int v2 = g.vertex_index("Vn2");
+
+  const Edge* self = nullptr;
+  const Edge* coupling = nullptr;
+  for (const auto& e : g.edges()) {
+    if (e.from == v1 && e.to == i1) self = &e;
+    if (e.from == v2 && e.to == i1) coupling = &e;
+  }
+  ASSERT_NE(self, nullptr);
+  ASSERT_EQ(self->weight.terms.size(), 1u);
+  EXPECT_EQ(self->weight.terms[0].kind, TermKind::Gm);
+  EXPECT_EQ(self->weight.terms[0].sign, -1);
+  EXPECT_EQ(self->weight.render_symbolic(), "-gmM");
+
+  ASSERT_NE(coupling, nullptr);
+  EXPECT_EQ(coupling->weight.render_symbolic(), "sC+sCgsM+gmM");
+}
+
+TEST_F(SfgTest, ActiveInductorForwardPathRendering) {
+  const DpSfg g = build_active_inductor();
+  const auto paths = enumerate_paths(g, g.vertex_index("Iin"), g.output_vertex());
+  ASSERT_EQ(paths.size(), 1u);  // Iin -> In1 -> Vn1 -> Vout
+  const std::string text = render_walk(g, paths[0], false, RenderMode::Symbolic);
+  EXPECT_EQ(text, "Iin -1 In1 1/(sC+gdsM+sCdsM+sCgsM) Vn1 1 Vout");
+}
+
+TEST_F(SfgTest, ActiveInductorCycleCount) {
+  // Fig. 2(b) has two loops: the C/Cgs coupling loop through both nodes and
+  // the -gm self-loop through z1.
+  const DpSfg g = build_active_inductor();
+  const auto cycles = enumerate_cycles(g);
+  EXPECT_EQ(cycles.size(), 2u);
+}
+
+TEST_F(SfgTest, NumericRenderingSubstitutesDeviceValues) {
+  const DpSfg g = build_active_inductor();
+  const auto paths = enumerate_paths(g, g.vertex_index("Iin"), g.output_vertex());
+  const std::string text = render_walk(g, paths[0], false, RenderMode::Numeric);
+  // Symbolic device parameters must be gone; passive "sC" stays.
+  EXPECT_EQ(text.find("gdsM"), std::string::npos);
+  EXPECT_NE(text.find("sC+"), std::string::npos);
+  EXPECT_NE(text.find("S"), std::string::npos);  // an SI-suffixed value
+}
+
+TEST_F(SfgTest, SubstituteRewritesValues) {
+  DpSfg g = build_active_inductor();
+  g.substitute({{"gmM", 2.5e-3}});
+  bool found = false;
+  for (const auto& e : g.edges()) {
+    for (const auto& t : e.weight.terms) {
+      if (t.param_name() == "gmM") {
+        EXPECT_DOUBLE_EQ(t.value, 2.5e-3);
+        found = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(SfgTest, DeviceParametersEnumerated) {
+  const DpSfg g = build_active_inductor();
+  const auto params = g.device_parameters();
+  EXPECT_EQ(params, (std::vector<std::string>{"CdsM", "CgsM", "gdsM", "gmM"}));
+}
+
+TEST_F(SfgTest, FiveTransistorOtaGraphStructure) {
+  auto topo = circuit::make_5t_ota(tech);
+  topo.apply_widths({4e-6, 12e-6, 6e-6});
+  const auto dc = spice::solve_dc(topo.netlist, tech);
+  const auto devices = spice::small_signal_map(topo.netlist, tech, dc);
+  const DpSfg g = DpSfg::build(topo.netlist, devices, topo.output_node);
+
+  // Floating nodes: n1, ntail, vout -> 3 I/V pairs; excitations VIP, VIN;
+  // plus Vout: 2 + 6 + 1 = 9 vertices.
+  EXPECT_EQ(g.vertices().size(), 9u);
+  // 4 parameters x 5 devices minus the two that cannot influence the
+  // differential small-signal response: the tail's gm and Cgs hang off
+  // AC-grounded terminals (gate at the bias source, source at ground).
+  EXPECT_EQ(g.device_parameters().size(), 18u);
+
+  const PathSet ps = collect_paths(g);
+  EXPECT_GT(ps.forward.size(), 0u);
+  EXPECT_GT(ps.cycles.size(), 0u);
+}
+
+TEST_F(SfgTest, OutputMustBeFloatingNode) {
+  auto topo = circuit::make_5t_ota(tech);
+  topo.apply_widths({4e-6, 12e-6, 6e-6});
+  const auto dc = spice::solve_dc(topo.netlist, tech);
+  const auto devices = spice::small_signal_map(topo.netlist, tech, dc);
+  EXPECT_THROW(DpSfg::build(topo.netlist, devices, "vdd"), InvalidArgument);
+}
+
+TEST_F(SfgTest, MissingDeviceDataThrows) {
+  auto topo = circuit::make_5t_ota(tech);
+  std::map<std::string, device::SmallSignal> empty;
+  EXPECT_THROW(DpSfg::build(topo.netlist, empty, topo.output_node),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ota::sfg

@@ -1,0 +1,204 @@
+// Stage II-IV integration tests.
+//
+// The transformer itself is exercised with a deliberately tiny training run
+// (mechanics, persistence); copilot behaviour is tested with the
+// deterministic nearest-neighbor predictor so the tests stay fast and the
+// assertions sharp — on a dense dataset, NN prediction + LUT width estimation
+// must reproduce nearby designs and the copilot must converge.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/copilot.hpp"
+#include "core/metrics.hpp"
+#include "core/nearest_predictor.hpp"
+#include "core/sizing_model.hpp"
+
+namespace ota::core {
+namespace {
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    tech_ = new device::Technology(device::Technology::default65nm());
+    topo_ = new circuit::Topology(circuit::make_5t_ota(*tech_));
+    DataGenOptions opt;
+    opt.target_designs = 120;
+    opt.max_attempts = 30000;
+    opt.seed = 31;
+    dataset_ = new Dataset(generate_dataset(
+        *topo_, *tech_, SpecRange::for_topology("5T-OTA"), opt));
+    builder_ = new SequenceBuilder(*topo_, *tech_);
+    luts_ = new LutSet(LutSet::build(*tech_));
+  }
+  static void TearDownTestSuite() {
+    delete luts_;
+    delete builder_;
+    delete dataset_;
+    delete topo_;
+    delete tech_;
+  }
+
+  static device::Technology* tech_;
+  static circuit::Topology* topo_;
+  static Dataset* dataset_;
+  static SequenceBuilder* builder_;
+  static LutSet* luts_;
+};
+
+device::Technology* PipelineTest::tech_ = nullptr;
+circuit::Topology* PipelineTest::topo_ = nullptr;
+Dataset* PipelineTest::dataset_ = nullptr;
+SequenceBuilder* PipelineTest::builder_ = nullptr;
+LutSet* PipelineTest::luts_ = nullptr;
+
+TEST_F(PipelineTest, EncoderSpecsRoundTrip) {
+  const Specs s{21.4, 13.2e6, 151e6};
+  const Specs back = parse_encoder_specs(builder_->encoder_text(s));
+  EXPECT_NEAR(back.gain_db, s.gain_db, 0.05);
+  EXPECT_NEAR(back.bw_hz, s.bw_hz, s.bw_hz * 0.01);
+  EXPECT_NEAR(back.ugf_hz, s.ugf_hz, s.ugf_hz * 0.01);
+  EXPECT_THROW(parse_encoder_specs("no spec block here"), InvalidArgument);
+}
+
+TEST_F(PipelineTest, NearestNeighborFindsExactMatch) {
+  const NearestNeighborPredictor nn(*builder_, dataset_->designs);
+  const Design& d = dataset_->designs[5];
+  const Design& found = nn.nearest(d.specs);
+  EXPECT_EQ(found.widths, d.widths);
+}
+
+TEST_F(PipelineTest, WidthsFromParamsRecoversDatasetWidths) {
+  // Stage III on *exact* parameters must reproduce the design's widths.
+  const Design& d = dataset_->designs[0];
+  std::map<std::string, double> params;
+  for (const auto& slot : builder_->slots()) {
+    const auto& ss = d.devices.at(slot.device);
+    double v = 0.0;
+    if (slot.name.rfind("gm", 0) == 0) v = ss.gm;
+    else if (slot.name.rfind("gds", 0) == 0) v = ss.gds;
+    else if (slot.name.rfind("Cds", 0) == 0) v = ss.cds;
+    else if (slot.name.rfind("Cgs", 0) == 0) v = ss.cgs;
+    else v = ss.id;
+    params[slot.name] = v;
+  }
+  const auto widths = widths_from_params(*topo_, *tech_, *luts_, params,
+                                         std::vector<double>(3, 5e-6));
+  ASSERT_EQ(widths.size(), 3u);
+  for (size_t g = 0; g < 3; ++g) {
+    EXPECT_NEAR(widths[g], d.widths[g], d.widths[g] * 0.06) << "group " << g;
+  }
+}
+
+TEST_F(PipelineTest, WidthsFromParamsUsesFallbackWhenStarved) {
+  const std::vector<double> fallback{1e-6, 2e-6, 3e-6};
+  const auto widths = widths_from_params(*topo_, *tech_, *luts_, {}, fallback);
+  EXPECT_EQ(widths, fallback);
+}
+
+TEST_F(PipelineTest, CopilotWithNearestNeighborMeetsTargets) {
+  const NearestNeighborPredictor nn(*builder_, dataset_->designs);
+  SizingCopilot copilot(*topo_, *tech_, *builder_, nn, *luts_);
+  const auto targets = targets_from_designs(dataset_->designs, 10, 0.08, 3);
+  int successes = 0;
+  int total_sims = 0;
+  for (const auto& t : targets) {
+    const SizingOutcome o = copilot.size(t);
+    successes += o.success ? 1 : 0;
+    total_sims += o.spice_simulations;
+    EXPECT_LE(o.spice_simulations, 6);
+  }
+  EXPECT_GE(successes, 8);  // dense dataset: NN + LUT should almost always hit
+  EXPECT_LE(total_sims, 10 * 6);
+}
+
+TEST_F(PipelineTest, CopilotReportsHonestOutcome) {
+  const NearestNeighborPredictor nn(*builder_, dataset_->designs);
+  SizingCopilot copilot(*topo_, *tech_, *builder_, nn, *luts_);
+  // Infeasible request: single-stage 5T cannot give 60 dB.
+  const SizingOutcome o = copilot.size(Specs{60.0, 50e6, 5e9});
+  EXPECT_FALSE(o.success);
+  EXPECT_EQ(o.iterations, CopilotOptions{}.max_iterations);
+  EXPECT_GT(o.spice_simulations, 0);
+}
+
+TEST_F(PipelineTest, CorrelationTableWithOracleIsNearPerfect) {
+  // Predicting a design's own parameters via NN lookup on a dataset that
+  // contains that design yields r ~ 1 by construction: validates the metric
+  // plumbing end to end.
+  const NearestNeighborPredictor nn(*builder_, dataset_->designs);
+  const auto rows = correlation_table(*topo_, *builder_, nn,
+                                      dataset_->designs, 25);
+  ASSERT_EQ(rows.size(), 3u);
+  for (const auto& row : rows) {
+    EXPECT_GT(row.r_gm, 0.99) << row.devices;
+    EXPECT_GT(row.r_gds, 0.99) << row.devices;
+    EXPECT_GT(row.r_cds, 0.99) << row.devices;
+    EXPECT_GT(row.r_cgs, 0.99) << row.devices;
+    EXPECT_GE(row.samples, 25);
+  }
+}
+
+TEST_F(PipelineTest, ScatterSeriesAlignsPairs) {
+  const NearestNeighborPredictor nn(*builder_, dataset_->designs);
+  const auto s = scatter_series(*builder_, nn, dataset_->designs, "M3", "gm", 15);
+  EXPECT_EQ(s.measured.size(), s.predicted.size());
+  EXPECT_GE(s.measured.size(), 10u);
+}
+
+TEST_F(PipelineTest, SizingModelTrainsAndPersists) {
+  // Tiny run: mechanics only (loss finite and decreasing-ish, save/load).
+  std::vector<std::pair<std::string, std::string>> pairs;
+  for (size_t i = 0; i < 30; ++i) {
+    const Design& d = dataset_->designs[i];
+    pairs.emplace_back(builder_->encoder_text(d.specs), builder_->decoder_text(d));
+  }
+  SizingModel model;
+  TrainOptions opt;
+  opt.epochs = 2;
+  opt.d_model = 16;
+  opt.n_heads = 2;
+  opt.d_ff = 32;
+  opt.bpe_merges = 64;
+  const TrainHistory hist = model.train(pairs, opt);
+  ASSERT_EQ(hist.train_loss.size(), 2u);
+  EXPECT_LT(hist.train_loss[1], hist.train_loss[0]);
+  EXPECT_TRUE(model.trained());
+
+  const std::string out = model.predict(pairs[0].first, 200);
+  EXPECT_FALSE(out.empty());
+
+  const std::string prefix =
+      (std::filesystem::temp_directory_path() / "ota_test_model").string();
+  model.save(prefix);
+  SizingModel loaded;
+  ASSERT_TRUE(loaded.load(prefix));
+  EXPECT_EQ(loaded.predict(pairs[0].first, 200), out);
+  std::remove((prefix + ".bpe").c_str());
+  std::remove((prefix + ".model").c_str());
+}
+
+TEST_F(PipelineTest, SizingModelLoadMissingReturnsFalse) {
+  SizingModel m;
+  EXPECT_FALSE(m.load("/nonexistent/prefix"));
+}
+
+TEST_F(PipelineTest, TargetsFromDesignsAreFeasibleRelaxations) {
+  const auto targets = targets_from_designs(dataset_->designs, 15, 0.05, 9);
+  ASSERT_EQ(targets.size(), 15u);
+  for (const auto& t : targets) {
+    bool dominated = false;
+    for (const auto& d : dataset_->designs) {
+      if (d.specs.gain_db >= t.gain_db && d.specs.bw_hz >= t.bw_hz &&
+          d.specs.ugf_hz >= t.ugf_hz) {
+        dominated = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(dominated) << "target must be achievable by some known design";
+  }
+}
+
+}  // namespace
+}  // namespace ota::core

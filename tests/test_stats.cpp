@@ -1,0 +1,70 @@
+#include "linalg/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace ota::linalg {
+namespace {
+
+TEST(Stats, MeanAndStddev) {
+  EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_NEAR(stddev({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}), 2.138, 1e-3);
+  EXPECT_DOUBLE_EQ(stddev({5.0}), 0.0);
+  EXPECT_THROW(mean({}), InvalidArgument);
+}
+
+TEST(Pearson, PerfectCorrelation) {
+  std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+  std::vector<double> y{2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+}
+
+TEST(Pearson, PerfectAnticorrelation) {
+  std::vector<double> x{1.0, 2.0, 3.0};
+  std::vector<double> y{3.0, 2.0, 1.0};
+  EXPECT_NEAR(pearson(x, y), -1.0, 1e-12);
+}
+
+TEST(Pearson, ConstantSampleReturnsZero) {
+  EXPECT_DOUBLE_EQ(pearson({1.0, 1.0, 1.0}, {1.0, 2.0, 3.0}), 0.0);
+}
+
+TEST(Pearson, InvariantToAffineTransform) {
+  Rng rng(7);
+  std::vector<double> x, y;
+  for (int i = 0; i < 100; ++i) {
+    x.push_back(rng.normal());
+    y.push_back(0.8 * x.back() + 0.3 * rng.normal());
+  }
+  const double r = pearson(x, y);
+  std::vector<double> x2, y2;
+  for (size_t i = 0; i < x.size(); ++i) {
+    x2.push_back(5.0 * x[i] - 2.0);
+    y2.push_back(0.1 * y[i] + 11.0);
+  }
+  EXPECT_NEAR(pearson(x2, y2), r, 1e-12);
+  EXPECT_GT(r, 0.8);  // strongly correlated by construction
+}
+
+TEST(Pearson, Validation) {
+  EXPECT_THROW(pearson({1.0}, {1.0, 2.0}), InvalidArgument);
+  EXPECT_THROW(pearson({1.0}, {1.0}), InvalidArgument);
+}
+
+TEST(Rmse, Basics) {
+  EXPECT_DOUBLE_EQ(rmse({1.0, 2.0}, {1.0, 2.0}), 0.0);
+  EXPECT_NEAR(rmse({0.0, 0.0}, {3.0, 4.0}), std::sqrt(12.5), 1e-12);
+  EXPECT_THROW(rmse({}, {}), InvalidArgument);
+}
+
+TEST(Mape, Basics) {
+  EXPECT_NEAR(mape({110.0, 90.0}, {100.0, 100.0}), 0.1, 1e-12);
+  // Zero references are skipped, not divided by.
+  EXPECT_NEAR(mape({1.0, 110.0}, {0.0, 100.0}), 0.1, 1e-12);
+  EXPECT_DOUBLE_EQ(mape({1.0}, {0.0}), 0.0);
+}
+
+}  // namespace
+}  // namespace ota::linalg

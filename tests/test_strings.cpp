@@ -1,0 +1,53 @@
+#include "common/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ota {
+namespace {
+
+TEST(Split, Basic) {
+  auto parts = split("a b  c");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Split, CustomDelims) {
+  auto parts = split("a,b;c", ",;");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Split, EmptyAndAllDelims) {
+  EXPECT_TRUE(split("").empty());
+  EXPECT_TRUE(split("   ").empty());
+}
+
+TEST(Join, Basic) {
+  EXPECT_EQ(join({"x", "y", "z"}, " "), "x y z");
+  EXPECT_EQ(join({}, " "), "");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(Join, RoundTripWithSplit) {
+  std::vector<std::string> parts{"Iin", "1", "I1", "1/(sC+gds)", "V1"};
+  EXPECT_EQ(split(join(parts, " ")), parts);
+}
+
+TEST(Trim, Basics) {
+  EXPECT_EQ(trim("  hello  "), "hello");
+  EXPECT_EQ(trim("\t\nx\r "), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(StartsEndsWith, Basics) {
+  EXPECT_TRUE(starts_with("gmM1", "gm"));
+  EXPECT_FALSE(starts_with("gm", "gmM1"));
+  EXPECT_TRUE(ends_with("2.5mS", "mS"));
+  EXPECT_FALSE(ends_with("mS", "2.5mS"));
+}
+
+}  // namespace
+}  // namespace ota

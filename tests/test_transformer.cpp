@@ -1,0 +1,205 @@
+// Transformer tests: shape discipline, gradient flow, save/load, and a toy
+// copy-task to prove the encoder-decoder can actually learn a mapping.
+#include "ml/transformer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ml/adam.hpp"
+
+namespace ota::ml {
+namespace {
+
+using nlp::TokenId;
+using nlp::Vocabulary;
+
+TransformerConfig tiny_config(int64_t vocab) {
+  TransformerConfig c;
+  c.vocab_size = vocab;
+  c.d_model = 16;
+  c.n_heads = 2;
+  c.n_layers = 1;
+  c.d_ff = 32;
+  c.max_len = 64;
+  c.dropout = 0.0;
+  c.seed = 42;
+  return c;
+}
+
+TEST(Transformer, ShapesAreConsistent) {
+  const Transformer model(tiny_config(11));
+  Rng rng(1);
+  const std::vector<TokenId> src{4, 5, 6, 7};
+  const Var memory = model.encode(src, false, rng);
+  EXPECT_EQ(memory->value.rows(), 4);
+  EXPECT_EQ(memory->value.cols(), 16);
+  const Var logits = model.decode(memory, {Vocabulary::kBos, 4, 5}, false, rng);
+  EXPECT_EQ(logits->value.rows(), 3);
+  EXPECT_EQ(logits->value.cols(), 11);
+}
+
+TEST(Transformer, ParameterCountMatchesArchitecture) {
+  const Transformer model(tiny_config(11));
+  // Two embeddings (11*16 each) + output head (16*11 + 11) plus layer params:
+  // exact accounting is brittle; assert the count is substantial and stable.
+  EXPECT_GT(model.parameter_count(), 3000);
+  const Transformer again(tiny_config(11));
+  EXPECT_EQ(model.parameter_count(), again.parameter_count());
+}
+
+TEST(Transformer, LossDecreasesOnCopyTask) {
+  // Learn to copy a 4-token sequence.  A 1-layer model should fit a handful
+  // of patterns quickly; this is the "does training work at all" test.
+  TransformerConfig cfg = tiny_config(10);
+  Transformer model(cfg);
+  AdamOptions aopt;
+  aopt.lr = 3e-3;
+  Adam adam(model.parameters(), aopt);
+  Rng rng(5);
+
+  const std::vector<std::vector<TokenId>> seqs{
+      {4, 5, 6, 7}, {5, 4, 7, 6}, {6, 7, 4, 5}, {7, 6, 5, 4}};
+  const std::vector<double> weights(5, 1.0);  // 4 tokens + <eos>
+
+  double first_loss = 0.0, last_loss = 0.0;
+  for (int epoch = 0; epoch < 60; ++epoch) {
+    double total = 0.0;
+    for (const auto& s : seqs) {
+      const Var l = model.loss(s, s, weights, rng);
+      total += l->value.at(0);
+      backward(l);
+      adam.step();
+    }
+    if (epoch == 0) first_loss = total;
+    last_loss = total;
+  }
+  EXPECT_LT(last_loss, first_loss * 0.2);
+}
+
+TEST(Transformer, GreedyDecodeReproducesLearnedCopy) {
+  TransformerConfig cfg = tiny_config(10);
+  Transformer model(cfg);
+  AdamOptions aopt;
+  aopt.lr = 3e-3;
+  Adam adam(model.parameters(), aopt);
+  Rng rng(5);
+  const std::vector<std::vector<TokenId>> seqs{
+      {4, 5, 6, 7}, {5, 4, 7, 6}, {6, 7, 4, 5}, {7, 6, 5, 4}};
+  const std::vector<double> weights(5, 1.0);
+  for (int epoch = 0; epoch < 150; ++epoch) {
+    for (const auto& s : seqs) {
+      const Var l = model.loss(s, s, weights, rng);
+      backward(l);
+      adam.step();
+    }
+  }
+  int correct = 0;
+  for (const auto& s : seqs) {
+    if (model.greedy_decode(s, 10) == s) ++correct;
+  }
+  EXPECT_GE(correct, 3) << "copy task should be essentially solved";
+}
+
+TEST(Transformer, SaveLoadRoundTrip) {
+  const Transformer model(tiny_config(11));
+  std::stringstream buf;
+  model.save(buf);
+
+  TransformerConfig cfg = tiny_config(11);
+  cfg.seed = 999;  // different init; load must overwrite it
+  Transformer other(cfg);
+  other.load(buf);
+
+  Rng rng(3);
+  const std::vector<TokenId> src{4, 5, 6};
+  const Var a = model.encode(src, false, rng);
+  const Var b = other.encode(src, false, rng);
+  for (int64_t i = 0; i < a->value.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a->value.at(i), b->value.at(i));
+  }
+}
+
+TEST(Transformer, LoadRejectsGarbage) {
+  Transformer model(tiny_config(11));
+  std::stringstream buf("definitely not a model file");
+  EXPECT_THROW(model.load(buf), InvalidArgument);
+}
+
+TEST(Transformer, LoadRejectsMismatchedArchitecture) {
+  const Transformer small(tiny_config(11));
+  std::stringstream buf;
+  small.save(buf);
+  TransformerConfig big = tiny_config(11);
+  big.d_model = 32;
+  big.d_ff = 64;
+  Transformer other(big);
+  EXPECT_THROW(other.load(buf), InvalidArgument);
+}
+
+TEST(Transformer, LossRequiresAlignedWeights) {
+  const Transformer model(tiny_config(11));
+  Rng rng(1);
+  EXPECT_THROW((void)model.loss({4, 5}, {4, 5}, {1.0}, rng), InvalidArgument);
+}
+
+TEST(Transformer, EmptyInputsRejected) {
+  const Transformer model(tiny_config(11));
+  Rng rng(1);
+  EXPECT_THROW((void)model.encode({}, false, rng), InvalidArgument);
+}
+
+TEST(Transformer, VocabSizeRequired) {
+  TransformerConfig cfg;
+  EXPECT_THROW((void)Transformer(cfg), InvalidArgument);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  // Minimize ||x - c||^2 for a fixed target c.
+  Rng rng(11);
+  Var x = parameter(Tensor(1, 4, 0.0));
+  Tensor target(1, 4);
+  for (int64_t i = 0; i < 4; ++i) target.at(i) = 1.0 + i;
+  AdamOptions opt;
+  opt.lr = 0.05;
+  opt.grad_clip = 0.0;
+  Adam adam({x}, opt);
+  for (int it = 0; it < 500; ++it) {
+    Var diff = sub(x, constant(target));
+    Var loss = sum(mul(diff, diff));
+    backward(loss);
+    adam.step();
+  }
+  for (int64_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(x->value.at(i), target.at(i), 1e-2);
+  }
+}
+
+TEST(Adam, PlateauDecayReducesLearningRate) {
+  Var x = parameter(Tensor(1, 1, 0.0));
+  AdamOptions opt;
+  opt.lr = 1e-3;
+  opt.patience = 2;
+  Adam adam({x}, opt);
+  adam.observe_loss(1.0);
+  adam.observe_loss(1.0);
+  adam.observe_loss(1.0);
+  EXPECT_NEAR(adam.learning_rate(), 5e-4, 1e-12);
+}
+
+TEST(Adam, GradClipBoundsUpdate) {
+  Var x = parameter(Tensor(1, 1, 0.0));
+  AdamOptions opt;
+  opt.lr = 1.0;
+  opt.grad_clip = 1e-3;
+  Adam adam({x}, opt);
+  x->ensure_grad().at(0) = 1e6;  // enormous gradient
+  adam.step();
+  // First Adam step magnitude is ~lr regardless, but must be finite and the
+  // moments must reflect the clipped gradient.
+  EXPECT_TRUE(std::isfinite(x->value.at(0)));
+  EXPECT_LT(std::fabs(x->value.at(0)), 1.5);
+}
+
+}  // namespace
+}  // namespace ota::ml
