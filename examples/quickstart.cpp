@@ -11,7 +11,12 @@
 //      request (Stage IV).
 //
 //   ./examples/quickstart            (about a minute on a laptop core)
+//
+// Set OTA_QUICKSTART_TINY=1 to shrink the dataset and model to smoke-test
+// scale (seconds); the `smoke_quickstart` CTest entry runs in that mode and
+// only checks that the full flow executes, not that the tiny model hits spec.
 #include <cstdio>
+#include <cstdlib>
 
 #include "core/copilot.hpp"
 #include "core/metrics.hpp"
@@ -21,13 +26,17 @@ int main() {
   using namespace ota;
   using namespace ota::core;
 
+  const char* tiny_env = std::getenv("OTA_QUICKSTART_TINY");
+  const bool tiny = tiny_env != nullptr && tiny_env[0] != '\0' &&
+                    tiny_env[0] != '0';
+
   const auto tech = device::Technology::default65nm();
   auto topo = circuit::make_5t_ota(tech);
 
   // 1. Dataset.
   std::printf("[1/4] generating dataset (width sweeps + filters)...\n");
   DataGenOptions gopt;
-  gopt.target_designs = 400;
+  gopt.target_designs = tiny ? 60 : 400;
   auto ds = generate_dataset(topo, tech, SpecRange::for_topology("5T-OTA"), gopt);
   std::printf("      %zu legal designs from %d simulated candidates\n",
               ds.designs.size(), ds.attempts);
@@ -41,8 +50,8 @@ int main() {
   }
   SizingModel model;
   TrainOptions topt;
-  topt.epochs = 10;
-  topt.d_model = 48;
+  topt.epochs = tiny ? 2 : 10;
+  topt.d_model = tiny ? 32 : 48;
   topt.lr = 2e-3;
   const TrainHistory hist = model.train(pairs, topt);
   std::printf("      %d epochs in %.1f s; loss %.3f -> %.3f; vocab %zu, %lld parameters\n",
@@ -66,5 +75,7 @@ int main() {
               o.achieved.gain_db, o.achieved.bw_hz / 1e6, o.achieved.ugf_hz / 1e6);
   std::printf("      widths   : load %.2f um, DP %.2f um, tail %.2f um\n",
               o.widths[0] * 1e6, o.widths[1] * 1e6, o.widths[2] * 1e6);
-  return o.success ? 0 : 1;
+  // In tiny (smoke-test) mode the model is far too small to reliably hit
+  // spec; completing the whole flow without throwing is the pass criterion.
+  return (tiny || o.success) ? 0 : 1;
 }

@@ -4,6 +4,17 @@
 // the API boundary.  Each subsystem throws the most specific subtype.
 #pragma once
 
+#include <version>
+
+// The library hard-requires C++20: sfg/mason.cpp, spice/ac.cpp and
+// spice/measure.cpp use std::numbers, and several headers rely on other
+// C++20 library features.  Fail the very first translation unit with a
+// readable message instead of a cryptic "std::numbers has not been declared"
+// deep inside a build log.
+#if !defined(__cpp_lib_math_constants)
+#error "otasizer requires a C++20 toolchain (std::numbers missing); compile with -std=c++20 or newer"
+#endif
+
 #include <stdexcept>
 #include <string>
 

@@ -68,12 +68,17 @@ std::optional<double> si_prefix_value(char c) {
 }
 
 std::string format_si(double value, std::string_view unit, int sig_digits) {
+  // Build with append rather than `const char* + std::string&&`: the latter
+  // trips a GCC 12 -Wrestrict false positive (PR 105651) under -Werror.
   if (value == 0.0 || std::fabs(value) < 1e-30) {
-    return "0" + std::string{unit};
+    std::string out{"0"};
+    out.append(unit);
+    return out;
   }
   if (!std::isfinite(value)) {
-    return (value > 0 ? "inf" : std::isnan(value) ? "nan" : "-inf") +
-           std::string{unit};
+    std::string out{value > 0 ? "inf" : std::isnan(value) ? "nan" : "-inf"};
+    out.append(unit);
+    return out;
   }
   const bool negative = value < 0;
   double mag = std::fabs(value);
