@@ -3,10 +3,15 @@
 // Regenerates the paper's dataset summary: the specification ranges actually
 // covered by the legal designs, the number of DP-SFG forward paths and
 // cycles, plus the rejection-sampling yield of the generation procedure.
+// A trailing threads-vs-throughput sweep regenerates the 5T-OTA dataset at
+// 1/2/4/8 worker threads (ota::par pool), reporting wall time, throughput,
+// and the bit-identity of every run against the single-threaded reference.
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 
 #include "common.hpp"
+#include "par/thread_pool.hpp"
 #include "sfg/sequence.hpp"
 #include "spice/dc.hpp"
 
@@ -48,5 +53,43 @@ int main() {
   std::printf("\n(paper Table I: 5T 18-23dB/7-54MHz/80-871MHz 9fwd 4cyc;\n"
               " CM 19-25dB/17.5-86MHz/57-1185MHz 26fwd 5cyc;\n"
               " 2S 28-54dB/0.01-0.32MHz/1.8-370MHz 2fwd 11cyc)\n");
+
+  // --- generate_dataset threads-vs-throughput sweep (5T-OTA) ---
+  const auto tech = device::Technology::default65nm();
+  core::DataGenOptions gopt;
+  gopt.target_designs = std::min(Scale::from_env().designs, 300);
+  gopt.max_attempts = gopt.target_designs * 200;
+  gopt.seed = 2024;
+
+  std::printf("\n=== generate_dataset threads sweep (5T-OTA, %d designs; "
+              "%d hardware threads) ===\n",
+              gopt.target_designs, par::hardware_threads());
+  std::printf("%-8s %-10s %-12s %-9s %-13s\n", "threads", "seconds",
+              "designs/s", "speedup", "bit-identical");
+  core::Dataset reference;
+  double t1 = 0.0;
+  for (const int threads : {1, 2, 4, 8}) {
+    auto topo = circuit::make_5t_ota(tech);
+    gopt.threads = threads;
+    const auto t0 = std::chrono::steady_clock::now();
+    const core::Dataset ds = core::generate_dataset(
+        topo, tech, core::SpecRange::for_topology("5T-OTA"), gopt);
+    const double secs = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0).count();
+    bool identical = true;
+    if (threads == 1) {
+      reference = ds;
+      t1 = secs;
+    } else {
+      identical = ds.designs.size() == reference.designs.size() &&
+                  ds.attempts == reference.attempts;
+      for (size_t i = 0; identical && i < ds.designs.size(); ++i) {
+        identical = ds.designs[i].widths == reference.designs[i].widths;
+      }
+    }
+    std::printf("%-8d %-10.2f %-12.1f %-9.2f %-13s\n", threads, secs,
+                static_cast<double>(ds.designs.size()) / std::max(secs, 1e-9),
+                t1 / std::max(secs, 1e-9), identical ? "yes" : "NO");
+  }
   return 0;
 }

@@ -5,14 +5,16 @@
 // average number of verification simulations (the paper's headline: >90% of
 // designs sized with one simulation).
 #include "common.hpp"
+#include "par/thread_pool.hpp"
 
 int main() {
   using namespace ota;
   using namespace ota::benchsupport;
   const Scale sc = Scale::from_env();
 
-  std::printf("=== Table VIII: runtime analysis (scale '%s') ===\n",
-              sc.name.c_str());
+  std::printf("=== Table VIII: runtime analysis (scale '%s', %d campaign "
+              "workers) ===\n",
+              sc.name.c_str(), par::resolve_threads());
   std::printf("%-8s %-10s | %-14s %-9s | %-14s %-9s %-7s | %-8s %-6s\n",
               "Topology", "training", "1-iter solved", "avg time",
               "multi solved", "avg time", "iters", "avg sims", "fail");

@@ -6,6 +6,7 @@
 // table is built on: in-loop SPICE dependency, accuracy, and runtime.
 #include "baselines/baselines.hpp"
 #include "common.hpp"
+#include "par/thread_pool.hpp"
 
 int main() {
   using namespace ota;
@@ -77,8 +78,9 @@ int main() {
     rows.push_back(row);
   }
 
-  std::printf("=== Table IX: comparison with prior approaches (5T-OTA, %d targets) ===\n",
-              n_targets);
+  std::printf("=== Table IX: comparison with prior approaches (5T-OTA, %d targets, "
+              "%d population-eval workers) ===\n",
+              n_targets, par::resolve_threads());
   std::printf("%-24s %-10s %-16s %-12s\n", "Method", "solved",
               "avg SPICE sims", "avg runtime");
   for (const auto& r : rows) {

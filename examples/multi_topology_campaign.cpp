@@ -4,12 +4,19 @@
 // Swap in a trained SizingModel (see quickstart.cpp or the bench binaries)
 // for the transformer-backed flow.
 //
+// Dataset generation and the per-target copilot runs fan out over the
+// ota::par thread pool (OTA_THREADS, default: hardware concurrency); the
+// campaign's results are bit-identical for any thread count.
+//
 //   ./examples/multi_topology_campaign
+//   OTA_THREADS=8 ./examples/multi_topology_campaign
 #include <cstdio>
+#include <cstdlib>
 
 #include "core/copilot.hpp"
 #include "core/metrics.hpp"
 #include "core/nearest_predictor.hpp"
+#include "par/thread_pool.hpp"
 
 int main() {
   using namespace ota;
@@ -18,6 +25,9 @@ int main() {
   const auto tech = device::Technology::default65nm();
   const LutSet luts = LutSet::build(tech);
 
+  std::printf("campaign workers: %d (OTA_THREADS=%s)\n\n",
+              par::resolve_threads(),
+              std::getenv("OTA_THREADS") ? std::getenv("OTA_THREADS") : "unset");
   std::printf("%-8s %-9s %-8s %-10s %-10s %-9s\n", "topology", "#designs",
               "targets", "met", "avg sims", "avg time");
   for (const char* name : {"5T-OTA", "CM-OTA", "2S-OTA"}) {

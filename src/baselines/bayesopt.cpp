@@ -8,6 +8,7 @@
 #include "baselines/baselines.hpp"
 #include "linalg/lu.hpp"
 #include "linalg/matrix.hpp"
+#include "par/thread_pool.hpp"
 
 namespace ota::baselines {
 
@@ -36,6 +37,7 @@ OptResult bayesian_optimization(SizingProblem& problem, const BoOptions& opt) {
   Rng rng(opt.seed);
   const size_t d = problem.dims();
   const int start_sims = problem.simulations();
+  par::ThreadPool pool(par::resolve_threads(opt.threads));
 
   std::vector<std::vector<double>> xs;
   std::vector<double> ys;
@@ -52,11 +54,21 @@ OptResult bayesian_optimization(SizingProblem& problem, const BoOptions& opt) {
     return y;
   };
 
-  for (int i = 0; i < opt.initial_samples; ++i) {
+  // Space-filling warm start, evaluated as one parallel batch (clamped to
+  // the simulation budget).  The batch trades the old sample-by-sample
+  // met-early-stop for parallel evaluation; the budget is still respected.
+  const int n_initial = std::min(opt.initial_samples, opt.max_simulations);
+  for (int i = 0; i < n_initial; ++i) {
     std::vector<double> x(d);
     for (auto& v : x) v = rng.uniform();
-    observe(x);
-    if (SizingProblem::met(res.best_cost)) break;
+    xs.push_back(std::move(x));
+  }
+  ys = problem.evaluate_batch(xs, &pool);
+  for (size_t i = 0; i < xs.size(); ++i) {
+    if (ys[i] < res.best_cost) {
+      res.best_cost = ys[i];
+      res.best_x = xs[i];
+    }
   }
 
   while (problem.simulations() - start_sims < opt.max_simulations &&
@@ -74,31 +86,40 @@ OptResult bayesian_optimization(SizingProblem& problem, const BoOptions& opt) {
     const linalg::LuDecomposition<double> lu(k);
     const std::vector<double> alpha = lu.solve(ys);
 
-    // EI over random candidates.
-    std::vector<double> best_cand;
-    double best_ei = -1.0;
-    for (int c = 0; c < opt.candidates; ++c) {
-      std::vector<double> x(d);
+    // EI over random candidates: candidate points are drawn sequentially on
+    // this thread, their (pure, model-only) EI scores computed in parallel,
+    // and the argmax taken in candidate order — same winner for any pool size.
+    std::vector<std::vector<double>> cands(
+        static_cast<size_t>(std::max(opt.candidates, 1)));
+    for (auto& x : cands) {
+      x.resize(d);
       for (auto& v : x) v = rng.uniform();
-      std::vector<double> kstar(n);
-      for (size_t i = 0; i < n; ++i) {
-        kstar[i] = rbf(x, xs[i], opt.lengthscale, opt.signal_var);
-      }
-      double mu = 0.0;
-      for (size_t i = 0; i < n; ++i) mu += kstar[i] * alpha[i];
-      const std::vector<double> kinv_kstar = lu.solve(kstar);
-      double var = opt.signal_var;
-      for (size_t i = 0; i < n; ++i) var -= kstar[i] * kinv_kstar[i];
-      const double sigma = std::sqrt(std::max(var, 1e-12));
-      const double improve = res.best_cost - mu;
-      const double z = improve / sigma;
-      const double ei = improve * norm_cdf(z) + sigma * norm_pdf(z);
-      if (ei > best_ei) {
-        best_ei = ei;
-        best_cand = x;
+    }
+    const std::vector<double> eis =
+        pool.parallel_map<double>(cands, [&](const std::vector<double>& x, size_t) {
+          std::vector<double> kstar(n);
+          for (size_t i = 0; i < n; ++i) {
+            kstar[i] = rbf(x, xs[i], opt.lengthscale, opt.signal_var);
+          }
+          double mu = 0.0;
+          for (size_t i = 0; i < n; ++i) mu += kstar[i] * alpha[i];
+          const std::vector<double> kinv_kstar = lu.solve(kstar);
+          double var = opt.signal_var;
+          for (size_t i = 0; i < n; ++i) var -= kstar[i] * kinv_kstar[i];
+          const double sigma = std::sqrt(std::max(var, 1e-12));
+          const double improve = res.best_cost - mu;
+          const double z = improve / sigma;
+          return improve * norm_cdf(z) + sigma * norm_pdf(z);
+        });
+    size_t best_c = 0;
+    double best_ei = -1.0;
+    for (size_t c = 0; c < cands.size(); ++c) {
+      if (eis[c] > best_ei) {
+        best_ei = eis[c];
+        best_c = c;
       }
     }
-    observe(best_cand);
+    observe(cands[best_c]);
   }
 
   res.success = SizingProblem::met(res.best_cost);

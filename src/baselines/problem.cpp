@@ -4,8 +4,33 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "par/thread_pool.hpp"
 
 namespace ota::baselines {
+
+namespace {
+
+// The shared cost kernel of evaluate()/evaluate_batch(): one simulation of
+// `topo` at `widths` scored against `target`.
+double cost_at(circuit::Topology& topo, const device::Technology& tech,
+               const core::Specs& target, const std::vector<double>& widths) {
+  spice::EvalResult r;
+  try {
+    r = spice::evaluate(topo, tech, widths);
+  } catch (const ConvergenceError&) {
+    return 10.0;  // non-simulatable point: large constant penalty
+  }
+  // Summed relative shortfalls; specs are minimum requirements.
+  double cost = 0.0;
+  cost += std::max(0.0, (target.gain_db - r.metrics.gain_db) /
+                            std::max(target.gain_db, 1.0));
+  cost += std::max(0.0, (target.bw_hz - r.metrics.bw_3db_hz) / target.bw_hz);
+  cost += std::max(0.0, (target.ugf_hz - r.metrics.ugf_hz) / target.ugf_hz);
+  if (!r.saturation_ok) cost += 0.5;  // bias away from railed designs
+  return cost;
+}
+
+}  // namespace
 
 SizingProblem::SizingProblem(circuit::Topology topology,
                              const device::Technology& tech, core::Specs target,
@@ -26,20 +51,25 @@ std::vector<double> SizingProblem::to_widths(const std::vector<double>& x) const
 
 double SizingProblem::evaluate(const std::vector<double>& x) {
   ++simulations_;
-  spice::EvalResult r;
-  try {
-    r = spice::evaluate(topo_, tech_, to_widths(x));
-  } catch (const ConvergenceError&) {
-    return 10.0;  // non-simulatable point: large constant penalty
+  return cost_at(topo_, tech_, target_, to_widths(x));
+}
+
+std::vector<double> SizingProblem::evaluate_batch(
+    const std::vector<std::vector<double>>& xs, par::ThreadPool* pool) {
+  simulations_ += static_cast<int>(xs.size());
+  std::vector<double> costs(xs.size());
+  auto run = [&](size_t begin, size_t end) {
+    circuit::Topology worker_topo = topo_;
+    for (size_t i = begin; i < end; ++i) {
+      costs[i] = cost_at(worker_topo, tech_, target_, to_widths(xs[i]));
+    }
+  };
+  if (pool != nullptr && xs.size() > 1) {
+    pool->parallel_for(xs.size(), run);
+  } else {
+    run(0, xs.size());
   }
-  // Summed relative shortfalls; specs are minimum requirements.
-  double cost = 0.0;
-  cost += std::max(0.0, (target_.gain_db - r.metrics.gain_db) /
-                            std::max(target_.gain_db, 1.0));
-  cost += std::max(0.0, (target_.bw_hz - r.metrics.bw_3db_hz) / target_.bw_hz);
-  cost += std::max(0.0, (target_.ugf_hz - r.metrics.ugf_hz) / target_.ugf_hz);
-  if (!r.saturation_ok) cost += 0.5;  // bias away from railed designs
-  return cost;
+  return costs;
 }
 
 core::Specs SizingProblem::measure(const std::vector<double>& x) {

@@ -15,6 +15,10 @@
 #include "core/dataset.hpp"
 #include "spice/testbench.hpp"
 
+namespace ota::par {
+class ThreadPool;
+}
+
 namespace ota::baselines {
 
 class SizingProblem {
@@ -29,6 +33,14 @@ class SizingProblem {
   /// specification is met; positive values are summed relative shortfalls.
   /// Every call runs one full simulation (counted).
   double evaluate(const std::vector<double>& x);
+
+  /// Costs of a whole population, one counted simulation per point.  Points
+  /// are independent; when `pool` is non-null they are evaluated concurrently
+  /// against per-worker Topology copies.  Results are written in input order
+  /// and are bit-identical to xs.size() sequential evaluate() calls, for any
+  /// pool size.
+  std::vector<double> evaluate_batch(const std::vector<std::vector<double>>& xs,
+                                     par::ThreadPool* pool = nullptr);
 
   /// Simulator invocations so far.
   int simulations() const { return simulations_; }

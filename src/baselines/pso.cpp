@@ -2,22 +2,32 @@
 #include <chrono>
 
 #include "baselines/baselines.hpp"
+#include "par/thread_pool.hpp"
 
 namespace ota::baselines {
 
+// Synchronous PSO: every generation first draws all velocity updates from the
+// single calling-thread Rng (against the previous generation's global best),
+// then evaluates the moved particles as one parallel batch, then folds the
+// personal/global bests back in swarm order.  Deterministic per seed for any
+// thread count.
 OptResult particle_swarm(SizingProblem& problem, const PsoOptions& opt) {
   const auto t0 = std::chrono::steady_clock::now();
   Rng rng(opt.seed);
   const size_t d = problem.dims();
   const int start_sims = problem.simulations();
+  par::ThreadPool pool(par::resolve_threads(opt.threads));
 
   struct Particle {
     std::vector<double> x, v, best_x;
     double best_cost = 1e300;
   };
-  std::vector<Particle> swarm(static_cast<size_t>(opt.swarm_size));
+  const size_t swarm_size = static_cast<size_t>(std::max(opt.swarm_size, 2));
+  std::vector<Particle> swarm(swarm_size);
 
   OptResult res;
+  std::vector<std::vector<double>> batch;
+  batch.reserve(swarm_size);
   for (auto& p : swarm) {
     p.x.resize(d);
     p.v.resize(d);
@@ -25,20 +35,28 @@ OptResult particle_swarm(SizingProblem& problem, const PsoOptions& opt) {
       p.x[i] = rng.uniform();
       p.v[i] = rng.uniform(-0.1, 0.1);
     }
-    const double c = problem.evaluate(p.x);
-    p.best_x = p.x;
-    p.best_cost = c;
-    if (c < res.best_cost) {
-      res.best_cost = c;
-      res.best_x = p.x;
+    batch.push_back(p.x);
+  }
+  std::vector<double> costs = problem.evaluate_batch(batch, &pool);
+  for (size_t j = 0; j < swarm_size; ++j) {
+    swarm[j].best_x = swarm[j].x;
+    swarm[j].best_cost = costs[j];
+    if (costs[j] < res.best_cost) {
+      res.best_cost = costs[j];
+      res.best_x = swarm[j].x;
     }
   }
 
   while (problem.simulations() - start_sims < opt.max_simulations &&
          !SizingProblem::met(res.best_cost)) {
     ++res.iterations;
-    for (auto& p : swarm) {
-      if (problem.simulations() - start_sims >= opt.max_simulations) break;
+    const int remaining =
+        opt.max_simulations - (problem.simulations() - start_sims);
+    const size_t moved =
+        std::min(swarm_size, static_cast<size_t>(remaining));
+    batch.clear();
+    for (size_t j = 0; j < moved; ++j) {
+      Particle& p = swarm[j];
       for (size_t i = 0; i < d; ++i) {
         p.v[i] = opt.inertia * p.v[i] +
                  opt.c_personal * rng.uniform() * (p.best_x[i] - p.x[i]) +
@@ -46,15 +64,18 @@ OptResult particle_swarm(SizingProblem& problem, const PsoOptions& opt) {
         p.v[i] = std::clamp(p.v[i], -0.3, 0.3);
         p.x[i] = std::clamp(p.x[i] + p.v[i], 0.0, 1.0);
       }
-      const double c = problem.evaluate(p.x);
-      if (c < p.best_cost) {
-        p.best_cost = c;
+      batch.push_back(p.x);
+    }
+    costs = problem.evaluate_batch(batch, &pool);
+    for (size_t j = 0; j < moved; ++j) {
+      Particle& p = swarm[j];
+      if (costs[j] < p.best_cost) {
+        p.best_cost = costs[j];
         p.best_x = p.x;
       }
-      if (c < res.best_cost) {
-        res.best_cost = c;
+      if (costs[j] < res.best_cost) {
+        res.best_cost = costs[j];
         res.best_x = p.x;
-        if (SizingProblem::met(c)) break;
       }
     }
   }

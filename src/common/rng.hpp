@@ -3,6 +3,13 @@
 // All stochastic components (data-generation sweep jitter, parameter
 // initialization, dropout, baseline optimizers) draw from a seeded Rng so every
 // experiment in the repository is reproducible bit-for-bit given its seed.
+//
+// Threading contract: Rng is a mutable value type with no internal locking.
+// Never share one instance across threads.  Parallel call sites either keep
+// the single Rng on the coordinating thread (baseline optimizers: all draws
+// happen before work is fanned out) or give every independent work item its
+// own counted stream via Rng(seed, stream) — the scheme that makes dataset
+// generation bit-identical for any thread count.
 #pragma once
 
 #include <cstdint>
@@ -10,11 +17,43 @@
 
 namespace ota {
 
+/// SplitMix64 (Steele, Lea & Flood; the java.util.SplittableRandom mixer).
+/// Used both as a tiny standalone generator and as the seed deriver for
+/// counted Rng streams: it decorrelates consecutive (seed, stream) pairs so
+/// stream k and stream k+1 of the same seed share no visible structure.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(uint64_t seed) : state_(seed) {}
+
+  constexpr uint64_t next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// Seed of counted stream `stream` under master seed `seed`: the SplitMix64
+/// output at counter seed + (stream + 1) * golden-gamma, i.e. sampling the
+/// canonical SplitMix64 sequence of `seed` at position `stream`.
+constexpr uint64_t stream_seed(uint64_t seed, uint64_t stream) {
+  SplitMix64 sm(seed + stream * 0x9E3779B97F4A7C15ULL);
+  return sm.next();
+}
+
 /// A seeded pseudo-random source.  Thin wrapper over std::mt19937_64 with the
 /// handful of draw shapes the library needs.
 class Rng {
  public:
   explicit Rng(uint64_t seed = 0x5EED5EEDULL) : engine_(seed) {}
+
+  /// Counted-stream constructor: Rng(seed, k) is the k-th independent stream
+  /// of `seed`.  Per-worker / per-work-item streams built this way make
+  /// parallel sampling deterministic regardless of thread count.
+  Rng(uint64_t seed, uint64_t stream) : engine_(stream_seed(seed, stream)) {}
 
   /// Uniform double in [lo, hi).
   double uniform(double lo = 0.0, double hi = 1.0) {

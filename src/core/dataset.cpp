@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/error.hpp"
+#include "par/thread_pool.hpp"
 
 namespace ota::core {
 
@@ -59,6 +61,57 @@ double balanced_cs_width(circuit::Topology& topo,
   return w7 * rng.log_uniform(0.7, 1.4);
 }
 
+// One rejection-sampling attempt.  Attempt `index` draws every jitter from
+// its own counted stream Rng(seed, index), so the outcome depends only on
+// (options, index) — never on which worker ran it or what ran before.
+enum class AttemptKind : uint8_t { Accepted, DcFailure, RegionReject, SpecReject };
+
+struct Attempt {
+  AttemptKind kind = AttemptKind::DcFailure;
+  Design design;
+};
+
+Attempt run_attempt(circuit::Topology& topo, const device::Technology& tech,
+                    const SpecRange& range, const DataGenOptions& opt,
+                    uint64_t index) {
+  Rng rng(opt.seed, index);
+  const size_t n_groups = topo.match_groups.size();
+  const bool two_stage = topo.name == "2S-OTA";
+
+  std::vector<double> widths(n_groups);
+  for (size_t g = 0; g < n_groups; ++g) {
+    widths[g] = rng.log_uniform(opt.w_min, opt.w_max);
+  }
+  if (two_stage) {
+    // Groups: load1, dp, tail1, tail2 (M6), cs (M7).
+    topo.apply_widths(widths);
+    widths[4] = std::clamp(balanced_cs_width(topo, tech, widths, rng),
+                           opt.w_min, opt.w_max);
+  }
+
+  Attempt a;
+  spice::EvalResult r;
+  try {
+    r = spice::evaluate(topo, tech, widths);
+  } catch (const ConvergenceError&) {
+    a.kind = AttemptKind::DcFailure;
+    return a;
+  }
+  if ((opt.enforce_saturation && !r.saturation_ok) ||
+      (opt.enforce_regions && !r.regions_ok)) {
+    a.kind = AttemptKind::RegionReject;
+    return a;
+  }
+  const Specs specs{r.metrics.gain_db, r.metrics.bw_3db_hz, r.metrics.ugf_hz};
+  if (opt.enforce_spec_range && !range.contains(specs)) {
+    a.kind = AttemptKind::SpecReject;
+    return a;
+  }
+  a.kind = AttemptKind::Accepted;
+  a.design = Design{std::move(widths), specs, std::move(r.devices)};
+  return a;
+}
+
 }  // namespace
 
 Dataset generate_dataset(circuit::Topology& topo,
@@ -66,45 +119,62 @@ Dataset generate_dataset(circuit::Topology& topo,
                          const DataGenOptions& opt) {
   Dataset ds;
   ds.topology = topo.name;
-  Rng rng(opt.seed);
-  const size_t n_groups = topo.match_groups.size();
-  const bool two_stage = topo.name == "2S-OTA";
 
-  while (static_cast<int>(ds.designs.size()) < opt.target_designs &&
-         ds.attempts < opt.max_attempts) {
+  const int threads = par::resolve_threads(opt.threads);
+
+  auto fold = [&ds](Attempt& a) {
     ++ds.attempts;
-    std::vector<double> widths(n_groups);
-    for (size_t g = 0; g < n_groups; ++g) {
-      widths[g] = rng.log_uniform(opt.w_min, opt.w_max);
+    switch (a.kind) {
+      case AttemptKind::Accepted:
+        ds.designs.push_back(std::move(a.design));
+        break;
+      case AttemptKind::DcFailure: ++ds.dc_failures; break;
+      case AttemptKind::RegionReject: ++ds.region_rejects; break;
+      case AttemptKind::SpecReject: ++ds.spec_rejects; break;
     }
-    if (two_stage) {
-      // Groups: load1, dp, tail1, tail2 (M6), cs (M7).
-      topo.apply_widths(widths);
-      widths[4] = std::clamp(balanced_cs_width(topo, tech, widths, rng),
-                             opt.w_min, opt.w_max);
-    }
+  };
 
-    spice::EvalResult r;
-    try {
-      r = spice::evaluate(topo, tech, widths);
-    } catch (const ConvergenceError&) {
-      ++ds.dc_failures;
-      continue;
+  if (threads <= 1) {
+    // Serial fast path: identical per-attempt counted streams and fold
+    // order, one Topology copy total, no end-of-run waste.  The copy keeps
+    // the caller's topology untouched, as on the parallel path.
+    circuit::Topology worker_topo = topo;
+    for (int i = 0; i < opt.max_attempts &&
+                    static_cast<int>(ds.designs.size()) < opt.target_designs;
+         ++i) {
+      Attempt a = run_attempt(worker_topo, tech, range, opt,
+                              static_cast<uint64_t>(i));
+      fold(a);
     }
-    if (opt.enforce_saturation && !r.saturation_ok) {
-      ++ds.region_rejects;
-      continue;
+    return ds;
+  }
+
+  par::ThreadPool pool(threads);
+  // Attempts are evaluated in fixed-size blocks and folded into the dataset
+  // in index order, stopping at the attempt that fills the target.  Block
+  // size only trades end-of-run waste against scheduling overhead; it can
+  // never change the result.
+  const int block = std::max(threads, std::min(32 * threads, 1024));
+
+  std::vector<Attempt> attempts;
+  int base = 0;
+  while (base < opt.max_attempts &&
+         static_cast<int>(ds.designs.size()) < opt.target_designs) {
+    const int m = std::min(block, opt.max_attempts - base);
+    attempts.assign(static_cast<size_t>(m), Attempt{});
+    pool.parallel_for(static_cast<size_t>(m), [&](size_t begin, size_t end) {
+      circuit::Topology worker_topo = topo;
+      for (size_t i = begin; i < end; ++i) {
+        attempts[i] = run_attempt(worker_topo, tech, range, opt,
+                                  static_cast<uint64_t>(base) + i);
+      }
+    });
+    for (int i = 0;
+         i < m && static_cast<int>(ds.designs.size()) < opt.target_designs;
+         ++i) {
+      fold(attempts[static_cast<size_t>(i)]);
     }
-    if (opt.enforce_regions && !r.regions_ok) {
-      ++ds.region_rejects;
-      continue;
-    }
-    const Specs specs{r.metrics.gain_db, r.metrics.bw_3db_hz, r.metrics.ugf_hz};
-    if (opt.enforce_spec_range && !range.contains(specs)) {
-      ++ds.spec_rejects;
-      continue;
-    }
-    ds.designs.push_back(Design{widths, specs, r.devices});
+    base += m;
   }
   return ds;
 }

@@ -60,6 +60,10 @@ struct DataGenOptions {
   bool enforce_regions = true;     ///< IC-window filters per match group
   bool enforce_saturation = true;  ///< all devices saturated
   bool enforce_spec_range = true;  ///< Table I window filter
+  /// Worker threads for the rejection-sampling sweep; 0 = auto (OTA_THREADS
+  /// env, else hardware concurrency).  Results are bit-identical for every
+  /// value: each attempt index draws from its own counted RNG stream.
+  int threads = 0;
 };
 
 struct Dataset {
@@ -76,6 +80,13 @@ struct Dataset {
 /// the 2S-OTA's second stage uses a current-balance heuristic for the CS
 /// width so the high-gain output node biases into its linear window, as a
 /// designer's sweep script would.
+///
+/// The rejection-sampling sweep is sharded over a thread pool (see
+/// DataGenOptions::threads).  Attempt k draws from counted stream
+/// Rng(opt.seed, k) and workers evaluate disjoint index blocks against their
+/// own Topology copies, so the retained designs, the attempt count, and every
+/// reject counter are bit-identical for any thread count: the dataset is
+/// always "the first target_designs accepted attempts in index order".
 Dataset generate_dataset(circuit::Topology& topology,
                          const device::Technology& tech,
                          const SpecRange& range, const DataGenOptions& opt = {});

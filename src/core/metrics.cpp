@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "linalg/stats.hpp"
+#include "par/thread_pool.hpp"
 
 namespace ota::core {
 
@@ -94,14 +95,26 @@ ScatterSeries scatter_series(const SequenceBuilder& builder,
   return s;
 }
 
-RuntimeStats runtime_stats(SizingCopilot& copilot,
+RuntimeStats runtime_stats(const SizingCopilot& copilot,
                            const std::vector<Specs>& targets,
-                           const CopilotOptions& opt) {
+                           const CopilotOptions& opt, int threads) {
+  // Each target gets a pristine copy of the copilot so its outcome depends
+  // only on (copilot state at call time, target) — not on which targets ran
+  // before it on the same thread.  That per-target isolation is what makes
+  // the aggregate independent of the thread count.
+  std::vector<SizingOutcome> outcomes(targets.size());
+  par::ThreadPool pool(par::resolve_threads(threads));
+  pool.parallel_for(targets.size(), [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      SizingCopilot worker = copilot;
+      outcomes[i] = worker.size(targets[i], opt);
+    }
+  });
+
   RuntimeStats st;
   double single_time = 0.0, multi_time = 0.0, multi_iters = 0.0;
   long sims = 0;
-  for (const Specs& t : targets) {
-    const SizingOutcome o = copilot.size(t, opt);
+  for (const SizingOutcome& o : outcomes) {
     ++st.total;
     sims += o.spice_simulations;
     if (o.success && o.iterations == 1) {

@@ -55,9 +55,17 @@ struct RuntimeStats {
   double avg_multi_iterations = 0.0;
   double avg_sims_per_design = 0.0;
 };
-RuntimeStats runtime_stats(SizingCopilot& copilot,
+/// Sizes every target and aggregates the outcome counts in target order.
+///
+/// Targets are independent: each one is sized by a fresh copy of `copilot`
+/// (its own Topology scratch state), and independent targets are evaluated
+/// concurrently on a thread pool (`threads` 0 = auto: OTA_THREADS env, else
+/// hardware concurrency).  All counting fields of the result are therefore
+/// bit-identical for any thread count; only the wall-clock averages
+/// (avg_*_seconds) vary run to run.
+RuntimeStats runtime_stats(const SizingCopilot& copilot,
                            const std::vector<Specs>& targets,
-                           const CopilotOptions& opt = {});
+                           const CopilotOptions& opt = {}, int threads = 0);
 
 /// Derives unseen-but-achievable spec targets from validation designs by
 /// relaxing each measured spec slightly (the "100 unique designs per

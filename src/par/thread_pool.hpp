@@ -1,0 +1,94 @@
+// Fixed-size thread pool and data-parallel facades.
+//
+// The execution subsystem behind every embarrassingly-parallel hot path in
+// the repository: dataset generation (core/dataset.cpp), campaign evaluation
+// (core/metrics.cpp), and the baseline optimizers' population evaluation
+// (baselines/).  The design contract those call sites rely on:
+//
+//  * Work is partitioned statically, results land in caller-indexed slots,
+//    and all randomness stays on the calling thread (or in per-item counted
+//    streams, see common/rng.hpp) — so results are bit-identical for any
+//    thread count, including 1.
+//  * Workers share only immutable state; anything mutable (a Topology, a
+//    SizingCopilot, an Rng) is copied per worker or per item.
+//
+// Thread count policy: call sites pass an explicit request (options structs /
+// function parameters) or 0 for "auto", which reads the OTA_THREADS
+// environment variable and falls back to std::thread::hardware_concurrency().
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace ota::par {
+
+/// std::thread::hardware_concurrency(), never less than 1.
+int hardware_threads();
+
+/// Parsed OTA_THREADS environment variable; 0 when unset or invalid.
+int env_threads();
+
+/// Effective thread count: `requested` if positive, else OTA_THREADS if set,
+/// else hardware_threads().
+int resolve_threads(int requested = 0);
+
+/// A fixed-size pool of worker threads with a shared FIFO task queue.
+///
+/// `ThreadPool(n)` spawns n workers for n >= 2.  With n <= 1 no threads are
+/// spawned and every operation runs inline on the calling thread, so a pool
+/// is always safe to construct and use unconditionally.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int threads = resolve_threads());
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (0 for an inline pool).
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues one task.  Inline pools run it before returning.  The future
+  /// carries any exception the task throws.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Runs `chunk_fn(begin, end)` over a static partition of [0, n) and
+  /// blocks until the whole range is covered.  At most size() chunks are in
+  /// flight; each index is visited exactly once.  The first chunk exception
+  /// (lowest chunk index) is rethrown on the calling thread after all chunks
+  /// finish.  Calls from inside one of this pool's workers run inline
+  /// (single chunk), which makes nested submission deadlock-free.
+  void parallel_for(size_t n,
+                    const std::function<void(size_t, size_t)>& chunk_fn);
+
+  /// parallel_for that maps `fn(item, index)` over `in`, writing results in
+  /// order into the returned vector.
+  template <typename Out, typename In, typename Fn>
+  std::vector<Out> parallel_map(const std::vector<In>& in, Fn fn) {
+    std::vector<Out> out(in.size());
+    parallel_for(in.size(), [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) out[i] = fn(in[i], i);
+    });
+    return out;
+  }
+
+ private:
+  void enqueue(std::function<void()> task);
+  void worker_loop();
+  bool on_worker_thread() const;
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace ota::par

@@ -1,0 +1,146 @@
+// Parallel-determinism property tests.
+//
+// The par layer's contract is that thread count is a pure performance knob:
+// dataset generation and campaign evaluation must produce bit-identical
+// results for OTA_THREADS=1 and OTA_THREADS=8 at the same seed (counted
+// SplitMix64 RNG streams + per-worker state isolation), while distinct seeds
+// must still produce distinct outputs.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/copilot.hpp"
+#include "core/metrics.hpp"
+#include "core/nearest_predictor.hpp"
+
+namespace ota::core {
+namespace {
+
+void expect_bit_identical(const Dataset& a, const Dataset& b) {
+  EXPECT_EQ(a.topology, b.topology);
+  EXPECT_EQ(a.attempts, b.attempts);
+  EXPECT_EQ(a.dc_failures, b.dc_failures);
+  EXPECT_EQ(a.region_rejects, b.region_rejects);
+  EXPECT_EQ(a.spec_rejects, b.spec_rejects);
+  ASSERT_EQ(a.designs.size(), b.designs.size());
+  for (size_t i = 0; i < a.designs.size(); ++i) {
+    const Design& da = a.designs[i];
+    const Design& db = b.designs[i];
+    EXPECT_EQ(da.widths, db.widths) << "design " << i;
+    EXPECT_EQ(da.specs.gain_db, db.specs.gain_db) << "design " << i;
+    EXPECT_EQ(da.specs.bw_hz, db.specs.bw_hz) << "design " << i;
+    EXPECT_EQ(da.specs.ugf_hz, db.specs.ugf_hz) << "design " << i;
+    ASSERT_EQ(da.devices.size(), db.devices.size()) << "design " << i;
+    for (const auto& [name, ss] : da.devices) {
+      const auto it = db.devices.find(name);
+      ASSERT_NE(it, db.devices.end()) << name;
+      EXPECT_EQ(ss.id, it->second.id) << name;
+      EXPECT_EQ(ss.gm, it->second.gm) << name;
+      EXPECT_EQ(ss.gds, it->second.gds) << name;
+      EXPECT_EQ(ss.cgs, it->second.cgs) << name;
+      EXPECT_EQ(ss.cds, it->second.cds) << name;
+      EXPECT_EQ(ss.ic, it->second.ic) << name;
+    }
+  }
+}
+
+class DeterminismTest : public ::testing::Test {
+ protected:
+  device::Technology tech = device::Technology::default65nm();
+
+  Dataset generate(const std::string& name, int threads, uint64_t seed = 7,
+                   int n = 25) {
+    auto topo = circuit::make_topology(name, tech);
+    DataGenOptions opt;
+    opt.target_designs = n;
+    opt.max_attempts = 20000;
+    opt.seed = seed;
+    opt.threads = threads;
+    return generate_dataset(topo, tech, SpecRange::for_topology(name), opt);
+  }
+};
+
+TEST_F(DeterminismTest, SplitMix64StreamsAreDistinctAndStable) {
+  // Same (seed, stream) -> same value; different stream or seed -> different.
+  EXPECT_EQ(stream_seed(42, 0), stream_seed(42, 0));
+  for (uint64_t s = 0; s < 16; ++s) {
+    EXPECT_NE(stream_seed(42, s), stream_seed(42, s + 1)) << s;
+    EXPECT_NE(stream_seed(42, s), stream_seed(43, s)) << s;
+  }
+  // Counted Rng streams inherit the separation.
+  Rng a(42, 3), b(42, 4), a2(42, 3);
+  const double va = a.uniform(), vb = b.uniform();
+  EXPECT_NE(va, vb);
+  EXPECT_EQ(va, a2.uniform());
+}
+
+TEST_F(DeterminismTest, DatasetBitIdenticalAcrossThreadCounts) {
+  const Dataset serial = generate("5T-OTA", 1);
+  const Dataset par8 = generate("5T-OTA", 8);
+  ASSERT_EQ(serial.designs.size(), 25u);
+  expect_bit_identical(serial, par8);
+
+  // An odd worker count shards differently but must agree too.
+  const Dataset par3 = generate("5T-OTA", 3);
+  expect_bit_identical(serial, par3);
+}
+
+TEST_F(DeterminismTest, TwoStageDatasetBitIdenticalAcrossThreadCounts) {
+  // The 2S-OTA exercises the current-balance jitter draw (a second RNG shape
+  // on the same per-attempt stream).
+  const Dataset serial = generate("2S-OTA", 1, 11, 10);
+  const Dataset par8 = generate("2S-OTA", 8, 11, 10);
+  ASSERT_EQ(serial.designs.size(), 10u);
+  expect_bit_identical(serial, par8);
+}
+
+TEST_F(DeterminismTest, DatasetSeedsDiffer) {
+  const Dataset a = generate("5T-OTA", 8, 1, 5);
+  const Dataset b = generate("5T-OTA", 8, 2, 5);
+  ASSERT_FALSE(a.designs.empty());
+  ASSERT_FALSE(b.designs.empty());
+  EXPECT_NE(a.designs[0].widths, b.designs[0].widths);
+}
+
+TEST_F(DeterminismTest, RuntimeStatsCountsIdenticalAcrossThreadCounts) {
+  auto topo = circuit::make_5t_ota(tech);
+  DataGenOptions opt;
+  opt.target_designs = 60;
+  opt.max_attempts = 20000;
+  opt.seed = 31;
+  const Dataset ds =
+      generate_dataset(topo, tech, SpecRange::for_topology("5T-OTA"), opt);
+  const SequenceBuilder builder(topo, tech);
+  const NearestNeighborPredictor nn(builder, ds.designs);
+  const LutSet luts = LutSet::build(tech);
+  const SizingCopilot copilot(topo, tech, builder, nn, luts);
+  const auto targets = targets_from_designs(ds.designs, 8, 0.06, 17);
+
+  const RuntimeStats serial = runtime_stats(copilot, targets, {}, 1);
+  const RuntimeStats par8 = runtime_stats(copilot, targets, {}, 8);
+
+  // Every counting field must agree bit-for-bit; only the wall-clock
+  // averages are allowed to differ between runs.
+  EXPECT_EQ(serial.total, par8.total);
+  EXPECT_EQ(serial.single_iteration, par8.single_iteration);
+  EXPECT_EQ(serial.multi_iteration, par8.multi_iteration);
+  EXPECT_EQ(serial.failures, par8.failures);
+  EXPECT_EQ(serial.avg_multi_iterations, par8.avg_multi_iterations);
+  EXPECT_EQ(serial.avg_sims_per_design, par8.avg_sims_per_design);
+  EXPECT_EQ(serial.total, 8);
+}
+
+TEST_F(DeterminismTest, TargetSeedsDiffer) {
+  auto topo = circuit::make_5t_ota(tech);
+  DataGenOptions opt;
+  opt.target_designs = 20;
+  opt.max_attempts = 20000;
+  opt.seed = 31;
+  const Dataset ds =
+      generate_dataset(topo, tech, SpecRange::for_topology("5T-OTA"), opt);
+  const auto ta = targets_from_designs(ds.designs, 4, 0.05, 1);
+  const auto tb = targets_from_designs(ds.designs, 4, 0.05, 2);
+  EXPECT_NE(ta[0].ugf_hz, tb[0].ugf_hz);
+}
+
+}  // namespace
+}  // namespace ota::core

@@ -7,8 +7,10 @@
 // must reproduce nearby designs and the copilot must converge.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
+#include <map>
 
 #include "core/copilot.hpp"
 #include "core/metrics.hpp"
@@ -182,6 +184,125 @@ TEST_F(PipelineTest, SizingModelTrainsAndPersists) {
 TEST_F(PipelineTest, SizingModelLoadMissingReturnsFalse) {
   SizingModel m;
   EXPECT_FALSE(m.load("/nonexistent/prefix"));
+}
+
+// Wraps the NN predictor but (a) records every encoder request the copilot
+// issues and (b) answers the first call with a fixed (deliberately poor)
+// design, forcing the miss-then-tighten refinement path.
+class FirstReplyPredictor : public Predictor {
+ public:
+  FirstReplyPredictor(const NearestNeighborPredictor& nn,
+                      std::string first_reply)
+      : nn_(nn), first_reply_(std::move(first_reply)) {}
+
+  std::string predict(const std::string& encoder_text,
+                      int max_tokens) const override {
+    requests_.push_back(encoder_text);
+    if (requests_.size() == 1) return first_reply_;
+    return nn_.predict(encoder_text, max_tokens);
+  }
+
+  const std::vector<std::string>& requests() const { return requests_; }
+
+ private:
+  const NearestNeighborPredictor& nn_;
+  std::string first_reply_;
+  mutable std::vector<std::string> requests_;
+};
+
+// Always answers with the same design, regardless of the request.
+class ConstantPredictor : public Predictor {
+ public:
+  explicit ConstantPredictor(std::string reply) : reply_(std::move(reply)) {}
+  std::string predict(const std::string&, int) const override {
+    return reply_;
+  }
+
+ private:
+  std::string reply_;
+};
+
+TEST_F(PipelineTest, CopilotMissTightensRequestThenRecovers) {
+  // Target the strongest design's specs (slightly relaxed) but make the
+  // first prediction return the weakest design: iteration 1 must miss, the
+  // re-request must be tightened beyond the raw target (margin boost), and
+  // the NN answer to the tightened request must then close the loop.
+  const auto by_ugf = [](const Design& a, const Design& b) {
+    return a.specs.ugf_hz < b.specs.ugf_hz;
+  };
+  const Design& weakest = *std::min_element(dataset_->designs.begin(),
+                                            dataset_->designs.end(), by_ugf);
+  const Design& strongest = *std::max_element(dataset_->designs.begin(),
+                                              dataset_->designs.end(), by_ugf);
+  ASSERT_LT(weakest.specs.ugf_hz, 0.7 * strongest.specs.ugf_hz)
+      << "dataset spread too small for a guaranteed first-iteration miss";
+
+  Specs target = strongest.specs;
+  target.gain_db -= 0.3;
+  target.bw_hz *= 0.95;
+  target.ugf_hz *= 0.95;
+
+  const NearestNeighborPredictor nn(*builder_, dataset_->designs);
+  const FirstReplyPredictor pred(nn, builder_->decoder_text(weakest));
+  SizingCopilot copilot(*topo_, *tech_, *builder_, pred, *luts_);
+  const SizingOutcome o = copilot.size(target);
+
+  EXPECT_TRUE(o.success);
+  EXPECT_GE(o.iterations, 2);
+  ASSERT_GE(pred.requests().size(), 2u);
+
+  // Request 1 is the raw target; request 2 must be tightened (margin
+  // allocation): no spec loosened, the missed UGF strictly raised.
+  const Specs r1 = parse_encoder_specs(pred.requests()[0]);
+  const Specs r2 = parse_encoder_specs(pred.requests()[1]);
+  EXPECT_NEAR(r1.ugf_hz, target.ugf_hz, target.ugf_hz * 0.01);
+  EXPECT_GE(r2.gain_db, r1.gain_db - 0.05);
+  EXPECT_GE(r2.bw_hz, r1.bw_hz * 0.99);
+  EXPECT_GT(r2.ugf_hz, r1.ugf_hz * 1.02);
+}
+
+TEST_F(PipelineTest, CopilotFallsBackToConstantDensityScaling) {
+  // A predictor stuck on one design exhausts prediction_iterations; the
+  // remaining rounds must refine by constant-density width scaling: all
+  // widths multiplied by one common factor, which lifts UGF/BW to a target
+  // the predictions alone can never reach.
+  // Pick the design with the most scaling headroom so the common factor
+  // never hits the 50 um clamp (which would break factor uniformity).
+  const Design& base = *std::min_element(
+      dataset_->designs.begin(), dataset_->designs.end(),
+      [](const Design& a, const Design& b) {
+        return *std::max_element(a.widths.begin(), a.widths.end()) <
+               *std::max_element(b.widths.begin(), b.widths.end());
+      });
+  Specs target = base.specs;
+  target.bw_hz *= 1.25;
+  target.ugf_hz *= 1.25;
+  target.gain_db -= 0.3;  // density scaling holds the gain constant
+
+  const ConstantPredictor pred(builder_->decoder_text(base));
+  SizingCopilot copilot(*topo_, *tech_, *builder_, pred, *luts_);
+  CopilotOptions opt;
+  opt.prediction_iterations = 1;
+  const SizingOutcome o = copilot.size(target, opt);
+
+  EXPECT_TRUE(o.success);
+  EXPECT_GE(o.iterations, 2);
+
+  // The final widths must be a uniform scale-up of the iteration-1 widths
+  // (the best — and only — verified prediction candidate).
+  std::map<std::string, double> params;
+  for (const auto& slot : builder_->slots()) {
+    params[slot.name] =
+        builder_->parse_decoder(builder_->decoder_text(base)).at(slot.name);
+  }
+  const auto w1 = widths_from_params(*topo_, *tech_, *luts_, params,
+                                     std::vector<double>(3, 5e-6));
+  ASSERT_EQ(o.widths.size(), w1.size());
+  const double factor = o.widths[0] / w1[0];
+  EXPECT_GT(factor, 1.05);
+  for (size_t g = 1; g < w1.size(); ++g) {
+    EXPECT_NEAR(o.widths[g] / w1[g], factor, factor * 1e-9) << "group " << g;
+  }
 }
 
 TEST_F(PipelineTest, TargetsFromDesignsAreFeasibleRelaxations) {
