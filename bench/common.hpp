@@ -105,7 +105,16 @@ struct TopologyContext {
     builder = std::make_unique<core::SequenceBuilder>(topology, tech());
 
     const std::string prefix = cache_dir() + "/" + name + "-" + sc.name;
-    if (model.load(prefix)) {
+    // A corrupt cache entry (e.g. a run killed mid-save) throws from load();
+    // treat it exactly like a cache miss and retrain over it.
+    bool cached = false;
+    try {
+      cached = model.load(prefix);
+    } catch (const Error& e) {
+      std::fprintf(stderr, "[bench] discarding unreadable cached model %s (%s)\n",
+                   prefix.c_str(), e.what());
+    }
+    if (cached) {
       std::ifstream meta(prefix + ".meta");
       if (meta) meta >> training_seconds;
       std::fprintf(stderr, "[bench] loaded cached model %s (trained in %.0fs)\n",

@@ -91,9 +91,16 @@ SizingOutcome SizingCopilot::size(const Specs& target,
     out.iterations = it + 1;
 
     if (it < opt.prediction_iterations || best_widths.empty()) {
-      // Stage II: predict device parameters for the requested specs.
+      // Stage II: predict device parameters for the requested specs.  The
+      // refinement loop is sequential (each request depends on the previous
+      // verification), so this is a batch of one; going through the batch
+      // API keeps every Stage-II call site on one interface.  threads=1
+      // keeps the pool inline under runtime_stats' worker threads.
       const std::string predicted_text =
-          model_.predict(builder_.encoder_text(request), opt.max_decode_tokens);
+          model_
+              .predict_batch({builder_.encoder_text(request)},
+                             opt.max_decode_tokens, /*threads=*/1)
+              .front();
       out.predicted = builder_.parse_decoder(predicted_text);
       // Stage III: parameters -> widths via the LUTs.
       widths = widths_from_params(topo_, tech_, luts_, out.predicted, widths);

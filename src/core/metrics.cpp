@@ -24,6 +24,24 @@ std::string param_key(const std::string& param, const std::string& device) {
   return param + device;
 }
 
+// The shared predict-then-parse step of every validation sweep: one batched
+// prediction over the first n designs' specs, parsed into parameter maps
+// positionally aligned with `validation`.
+std::vector<std::map<std::string, double>> predict_params(
+    const SequenceBuilder& builder, const Predictor& model,
+    const std::vector<Design>& validation, int n, int max_tokens = 800) {
+  std::vector<std::string> texts;
+  texts.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    texts.push_back(builder.encoder_text(validation[static_cast<size_t>(i)].specs));
+  }
+  const std::vector<std::string> decoded = model.predict_batch(texts, max_tokens);
+  std::vector<std::map<std::string, double>> out;
+  out.reserve(decoded.size());
+  for (const std::string& d : decoded) out.push_back(builder.parse_decoder(d));
+  return out;
+}
+
 }  // namespace
 
 std::vector<CorrelationRow> correlation_table(
@@ -33,13 +51,9 @@ std::vector<CorrelationRow> correlation_table(
   const int n = std::min<int>(max_designs, static_cast<int>(validation.size()));
   if (n < 3) throw InvalidArgument("correlation_table: too few designs");
 
-  // Collect predictions once per design.
-  std::vector<std::map<std::string, double>> predictions;
-  predictions.reserve(static_cast<size_t>(n));
-  for (int i = 0; i < n; ++i) {
-    predictions.push_back(builder.parse_decoder(
-        model.predict(builder.encoder_text(validation[static_cast<size_t>(i)].specs), 800)));
-  }
+  // Collect predictions once per design (batched through the model's engine).
+  const std::vector<std::map<std::string, double>> predictions =
+      predict_params(builder, model, validation, n);
 
   std::vector<CorrelationRow> rows;
   for (const auto& group : topo.match_groups) {
@@ -83,10 +97,10 @@ ScatterSeries scatter_series(const SequenceBuilder& builder,
   s.device = device;
   s.param = param;
   const int n = std::min<int>(max_designs, static_cast<int>(validation.size()));
+  const auto predictions = predict_params(builder, model, validation, n);
   for (int i = 0; i < n; ++i) {
     const Design& d = validation[static_cast<size_t>(i)];
-    const auto pred =
-        builder.parse_decoder(model.predict(builder.encoder_text(d.specs), 800));
+    const auto& pred = predictions[static_cast<size_t>(i)];
     auto it = pred.find(param_key(param, device));
     if (it == pred.end()) continue;
     s.predicted.push_back(it->second);

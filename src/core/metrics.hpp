@@ -23,15 +23,17 @@ struct CorrelationRow {
   int samples = 0;      ///< designs with a usable prediction for this group
 };
 
-/// Predicts parameters for each validation design's specs and correlates
-/// them against the design's measured parameters.
+/// Predicts parameters for each validation design's specs (one
+/// Predictor::predict_batch call over all designs) and correlates them
+/// against the design's measured parameters.
 std::vector<CorrelationRow> correlation_table(
     const circuit::Topology& topology, const SequenceBuilder& builder,
     const Predictor& model, const std::vector<Design>& validation,
     int max_designs = 100);
 
 /// Paired predicted/measured values of one parameter for one device across
-/// validation designs — the scatter data of the paper's Fig. 7.
+/// validation designs — the scatter data of the paper's Fig. 7.  Shares the
+/// batched predict-then-parse path with correlation_table.
 struct ScatterSeries {
   std::string device;
   std::string param;  ///< "gm" | "gds" | "Cds" | "Cgs"

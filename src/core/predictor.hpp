@@ -6,6 +6,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 namespace ota::core {
 
@@ -15,6 +16,24 @@ class Predictor {
   /// Decoder-sequence prediction for an encoder sequence.
   virtual std::string predict(const std::string& encoder_text,
                               int max_tokens) const = 0;
+
+  /// Predictions for many encoder sequences, positionally aligned with the
+  /// input.  The default is a serial loop over predict(); implementations
+  /// with a faster path (SizingModel decodes batches concurrently through
+  /// its inference engine) override it.  Contract for overrides: results
+  /// must be bit-identical to the serial loop for any `threads` value
+  /// (0 = auto: OTA_THREADS env, else hardware concurrency).
+  virtual std::vector<std::string> predict_batch(
+      const std::vector<std::string>& encoder_texts, int max_tokens,
+      int threads = 0) const {
+    (void)threads;
+    std::vector<std::string> out;
+    out.reserve(encoder_texts.size());
+    for (const std::string& text : encoder_texts) {
+      out.push_back(predict(text, max_tokens));
+    }
+    return out;
+  }
 };
 
 }  // namespace ota::core

@@ -13,6 +13,38 @@ namespace ota::core {
 using nlp::TokenId;
 using nlp::Vocabulary;
 
+namespace {
+
+// Model-file config header, version 2: an explicit field-by-field layout
+// behind a magic/version tag.  Version 1 (no tag) dumped the raw
+// TransformerConfig struct — indeterminate padding bytes and fragile against
+// any struct change; load() still accepts it best-effort.
+constexpr char kModelMagicV2[8] = {'o', 't', 'a', 's', 'm', 'd', 'l', '2'};
+
+template <typename T>
+void write_field(std::ostream& os, T v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+template <typename T>
+bool read_field(std::istream& is, T& v) {
+  is.read(reinterpret_cast<char*>(&v), sizeof v);
+  return static_cast<bool>(is);
+}
+
+bool config_is_plausible(const ml::TransformerConfig& cfg) {
+  return cfg.vocab_size > 0 && cfg.vocab_size <= (1 << 24) &&
+         cfg.d_model > 0 && cfg.d_model <= (1 << 16) &&
+         cfg.n_heads > 0 && cfg.n_heads <= 1024 &&
+         cfg.d_model % cfg.n_heads == 0 &&
+         cfg.n_layers > 0 && cfg.n_layers <= 1024 &&
+         cfg.d_ff > 0 && cfg.d_ff <= (1 << 20) &&
+         cfg.max_len > 0 && cfg.max_len <= (1 << 24) &&
+         cfg.dropout >= 0.0 && cfg.dropout < 1.0;
+}
+
+}  // namespace
+
 std::vector<double> SizingModel::target_weights(const std::vector<TokenId>& tgt,
                                                 double numeric_weight) const {
   // One weight per target token plus the trailing <eos>.
@@ -30,6 +62,10 @@ TrainHistory SizingModel::train(
     const std::vector<std::pair<std::string, std::string>>& pairs,
     const TrainOptions& opt) {
   if (pairs.empty()) throw InvalidArgument("SizingModel::train: no examples");
+  // Drop any previous model first: a throw below must leave the object
+  // cleanly untrained, never half-trained or serving a stale engine.
+  model_.reset();
+  engine_.reset();
   opt_ = opt;
   const auto t0 = std::chrono::steady_clock::now();
 
@@ -66,11 +102,13 @@ TrainHistory SizingModel::train(
   cfg.max_len = opt.max_len;
   cfg.dropout = opt.dropout;
   cfg.seed = opt.seed;
-  model_ = std::make_unique<ml::Transformer>(cfg);
+  // Train on a local model and only adopt it (model_/engine_) once training
+  // finished; a mid-epoch throw then truly leaves the object untrained.
+  auto model = std::make_unique<ml::Transformer>(cfg);
 
   ml::AdamOptions aopt;
   aopt.lr = opt.lr;
-  ml::Adam adam(model_->parameters(), aopt);
+  ml::Adam adam(model->parameters(), aopt);
 
   // Validation split for the adaptive-lr schedule.
   Rng rng(opt.seed ^ 0xBADC0DE);
@@ -90,7 +128,7 @@ TrainHistory SizingModel::train(
     int in_batch = 0;
     for (size_t idx : train_idx) {
       const Example& ex = examples[idx];
-      const ml::Var l = model_->loss(ex.src, ex.tgt, ex.weights, rng);
+      const ml::Var l = model->loss(ex.src, ex.tgt, ex.weights, rng);
       total += l->value.at(0);
       ml::backward(l);
       if (++in_batch >= opt.batch_size) {
@@ -107,7 +145,7 @@ TrainHistory SizingModel::train(
       double vtotal = 0.0;
       for (size_t idx : val_idx) {
         const Example& ex = examples[idx];
-        vtotal += model_->loss(ex.src, ex.tgt, ex.weights, rng, /*training=*/false)
+        vtotal += model->loss(ex.src, ex.tgt, ex.weights, rng, /*training=*/false)
                       ->value.at(0);
       }
       vloss = vtotal / static_cast<double>(val_idx.size());
@@ -121,15 +159,33 @@ TrainHistory SizingModel::train(
   }
   hist.seconds = std::chrono::duration<double>(
                      std::chrono::steady_clock::now() - t0).count();
+  model_ = std::move(model);
+  engine_ = std::make_unique<ml::InferenceEngine>(*model_);
   return hist;
 }
 
 std::string SizingModel::predict(const std::string& encoder_text,
                                  int max_tokens) const {
-  if (!model_) throw InvalidArgument("SizingModel::predict: not trained");
+  if (!engine_) throw InvalidArgument("SizingModel::predict: not trained");
   const auto src = tokenizer_.encode(encoder_text);
-  const auto out = model_->greedy_decode(src, max_tokens);
+  const auto out = engine_->greedy_decode(src, max_tokens);
   return tokenizer_.decode(out);
+}
+
+std::vector<std::string> SizingModel::predict_batch(
+    const std::vector<std::string>& encoder_texts, int max_tokens,
+    int threads) const {
+  if (!engine_) throw InvalidArgument("SizingModel::predict_batch: not trained");
+  std::vector<std::vector<TokenId>> srcs;
+  srcs.reserve(encoder_texts.size());
+  for (const std::string& text : encoder_texts) {
+    srcs.push_back(tokenizer_.encode(text));
+  }
+  const auto decoded = engine_->greedy_decode_batch(srcs, max_tokens, threads);
+  std::vector<std::string> out;
+  out.reserve(decoded.size());
+  for (const auto& tokens : decoded) out.push_back(tokenizer_.decode(tokens));
+  return out;
 }
 
 const nlp::BpeTokenizer& SizingModel::tokenizer() const {
@@ -142,6 +198,11 @@ const ml::Transformer& SizingModel::transformer() const {
   return *model_;
 }
 
+const ml::InferenceEngine& SizingModel::engine() const {
+  if (!engine_) throw InvalidArgument("SizingModel: not trained");
+  return *engine_;
+}
+
 void SizingModel::save(const std::string& prefix) const {
   if (!model_) throw InvalidArgument("SizingModel::save: not trained");
   {
@@ -151,7 +212,15 @@ void SizingModel::save(const std::string& prefix) const {
   {
     std::ofstream mdl(prefix + ".model", std::ios::binary);
     const auto& cfg = model_->config();
-    mdl.write(reinterpret_cast<const char*>(&cfg), sizeof cfg);
+    mdl.write(kModelMagicV2, sizeof kModelMagicV2);
+    write_field(mdl, cfg.vocab_size);
+    write_field(mdl, cfg.d_model);
+    write_field(mdl, cfg.n_heads);
+    write_field(mdl, cfg.n_layers);
+    write_field(mdl, cfg.d_ff);
+    write_field(mdl, cfg.max_len);
+    write_field(mdl, cfg.dropout);
+    write_field(mdl, cfg.seed);
     model_->save(mdl);
   }
 }
@@ -160,14 +229,46 @@ bool SizingModel::load(const std::string& prefix) {
   std::ifstream bpe(prefix + ".bpe");
   std::ifstream mdl(prefix + ".model", std::ios::binary);
   if (!bpe || !mdl) return false;
+  // As in train(): a throw below (corrupt file) must not leave a previous
+  // model's engine paired with a new tokenizer.
+  model_.reset();
+  engine_.reset();
   std::stringstream ss;
   ss << bpe.rdbuf();
   tokenizer_ = nlp::BpeTokenizer::deserialize(ss.str());
+
   ml::TransformerConfig cfg;
-  mdl.read(reinterpret_cast<char*>(&cfg), sizeof cfg);
-  if (!mdl) return false;
+  char magic[8] = {};
+  mdl.read(magic, sizeof magic);
+  if (mdl && std::equal(magic, magic + 8, kModelMagicV2)) {
+    if (!read_field(mdl, cfg.vocab_size) || !read_field(mdl, cfg.d_model) ||
+        !read_field(mdl, cfg.n_heads) || !read_field(mdl, cfg.n_layers) ||
+        !read_field(mdl, cfg.d_ff) || !read_field(mdl, cfg.max_len) ||
+        !read_field(mdl, cfg.dropout) || !read_field(mdl, cfg.seed)) {
+      throw InvalidArgument("SizingModel::load: truncated v2 config header in " +
+                            prefix + ".model");
+    }
+    if (!config_is_plausible(cfg)) {
+      throw InvalidArgument("SizingModel::load: corrupt v2 config header in " +
+                            prefix + ".model");
+    }
+  } else {
+    // Legacy (untagged) format: the file starts with a raw TransformerConfig
+    // struct dump.  Best-effort: re-read it as the struct and sanity-check
+    // the fields, since padding bytes and layout were never guaranteed.
+    mdl.clear();
+    mdl.seekg(0);
+    mdl.read(reinterpret_cast<char*>(&cfg), sizeof cfg);
+    if (!mdl || !config_is_plausible(cfg)) {
+      throw InvalidArgument(
+          "SizingModel::load: " + prefix + ".model is neither a v2 model file "
+          "(magic 'otasmdl2') nor a readable legacy config; re-train and "
+          "re-save the model");
+    }
+  }
   model_ = std::make_unique<ml::Transformer>(cfg);
   model_->load(mdl);
+  engine_ = std::make_unique<ml::InferenceEngine>(*model_);
   return true;
 }
 

@@ -11,6 +11,7 @@
 
 #include "core/predictor.hpp"
 #include "ml/adam.hpp"
+#include "ml/infer.hpp"
 #include "ml/transformer.hpp"
 #include "nlp/bpe.hpp"
 
@@ -47,17 +48,33 @@ class SizingModel : public Predictor {
   TrainHistory train(const std::vector<std::pair<std::string, std::string>>& pairs,
                      const TrainOptions& opt);
 
-  /// Greedy prediction of the decoder text for an encoder text.
+  /// Greedy prediction of the decoder text for an encoder text.  Decodes
+  /// through the compiled inference engine (KV cache, no autograd graph);
+  /// output is bit-identical to the Var-based Transformer::greedy_decode.
   std::string predict(const std::string& encoder_text,
                       int max_tokens = 800) const override;
 
-  bool trained() const { return model_ != nullptr; }
+  /// Batched greedy prediction: all requests decode concurrently through the
+  /// engine (bit-identical for any thread count, including the serial loop).
+  std::vector<std::string> predict_batch(
+      const std::vector<std::string>& encoder_texts, int max_tokens = 800,
+      int threads = 0) const override;
+
+  bool trained() const { return model_ != nullptr && engine_ != nullptr; }
   const nlp::BpeTokenizer& tokenizer() const;
   const ml::Transformer& transformer() const;
+  /// The autograd-free evaluation representation, recompiled after every
+  /// train()/load().
+  const ml::InferenceEngine& engine() const;
 
   /// Persists tokenizer + weights to `<prefix>.bpe` / `<prefix>.model`.
+  /// The model file carries an explicit field-by-field config header
+  /// (version tag "otasmdl2"); see load() for the legacy format.
   void save(const std::string& prefix) const;
   /// Loads a previously saved model; returns false when files are missing.
+  /// Reads the versioned header, falling back to a best-effort parse of the
+  /// legacy raw-struct header (pre-version files written on the same
+  /// platform); throws InvalidArgument when neither format fits.
   bool load(const std::string& prefix);
 
  private:
@@ -66,6 +83,7 @@ class SizingModel : public Predictor {
 
   nlp::BpeTokenizer tokenizer_;
   std::unique_ptr<ml::Transformer> model_;
+  std::unique_ptr<ml::InferenceEngine> engine_;
   TrainOptions opt_;
 };
 

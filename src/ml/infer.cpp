@@ -1,0 +1,409 @@
+#include "ml/infer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <string>
+
+#include "par/thread_pool.hpp"
+
+namespace ota::ml {
+
+using nlp::TokenId;
+using nlp::Vocabulary;
+
+// Every loop in this file replicates the accumulation order of the reference
+// Var ops (ml/ops.cpp) and of the NN GEMM kernel (ml/tensor.cpp) — including
+// its skip of zero left-hand values — so that the engine's floating-point
+// results are bit-identical to the autograd path's.  Do not "clean up" loop
+// orders or hoist terms here without re-running the bit-identity properties
+// in tests/test_infer.cpp.
+namespace {
+
+/// out = x * W for one row x (length k), matching the NN GEMM kernel:
+/// p-outer / j-inner accumulation with the av == 0.0 skip.
+void project_row(const double* x, const Tensor& w, double* out) {
+  const int64_t k = w.rows(), n = w.cols();
+  std::fill(out, out + n, 0.0);
+  for (int64_t p = 0; p < k; ++p) {
+    const double xv = x[p];
+    if (xv == 0.0) continue;
+    const double* wrow = w.data().data() + p * n;
+    for (int64_t j = 0; j < n; ++j) out[j] += xv * wrow[j];
+  }
+}
+
+void add_bias_row(double* x, const Tensor& bias) {
+  for (int64_t c = 0; c < bias.cols(); ++c) x[c] += bias(0, c);
+}
+
+/// In-place softmax over s[0..n), same max/exp/normalize order as
+/// softmax_rows in ops.cpp.
+void softmax_row(double* s, int64_t n) {
+  double mx = -1e300;
+  for (int64_t c = 0; c < n; ++c) mx = std::max(mx, s[c]);
+  double denom = 0.0;
+  for (int64_t c = 0; c < n; ++c) {
+    s[c] = std::exp(s[c] - mx);
+    denom += s[c];
+  }
+  for (int64_t c = 0; c < n; ++c) s[c] /= denom;
+}
+
+/// In-place row layer-norm, same statistics and output expression as
+/// layer_norm in ops.cpp (eps matches its default).
+void layer_norm_row(double* x, int64_t n, const LayerNormWeights& w,
+                    double eps = 1e-5) {
+  double mu = 0.0;
+  for (int64_t c = 0; c < n; ++c) mu += x[c];
+  mu /= static_cast<double>(n);
+  double var = 0.0;
+  for (int64_t c = 0; c < n; ++c) {
+    const double d = x[c] - mu;
+    var += d * d;
+  }
+  var /= static_cast<double>(n);
+  const double rs = 1.0 / std::sqrt(var + eps);
+  for (int64_t c = 0; c < n; ++c) {
+    x[c] = w.gamma(0, c) * (x[c] - mu) * rs + w.beta(0, c);
+  }
+}
+
+/// Multi-head scaled-dot attention of one query row against cached keys and
+/// values (Lk rows of d_model doubles, head columns fused side by side).
+/// Writes the fused context row (pre-W_O) into ctx.
+void attend_row(const double* q, const double* keys, const double* values,
+                int64_t lk, int64_t d_model, int64_t d_head, double* ctx,
+                std::vector<double>& scores) {
+  const int64_t n_heads = d_model / d_head;
+  const double inv_sqrt_dk = 1.0 / std::sqrt(static_cast<double>(d_head));
+  std::fill(ctx, ctx + d_model, 0.0);
+  scores.resize(static_cast<size_t>(lk));
+  for (int64_t h = 0; h < n_heads; ++h) {
+    const int64_t ho = h * d_head;
+    for (int64_t j = 0; j < lk; ++j) {
+      double acc = 0.0;
+      const double* krow = keys + j * d_model + ho;
+      for (int64_t p = 0; p < d_head; ++p) acc += q[ho + p] * krow[p];
+      scores[static_cast<size_t>(j)] = acc * inv_sqrt_dk;
+    }
+    softmax_row(scores.data(), lk);
+    for (int64_t p = 0; p < lk; ++p) {
+      const double a = scores[static_cast<size_t>(p)];
+      if (a == 0.0) continue;  // the NN kernel's zero skip
+      const double* vrow = values + p * d_model + ho;
+      for (int64_t c = 0; c < d_head; ++c) ctx[ho + c] += a * vrow[c];
+    }
+  }
+}
+
+/// Full-sequence multi-head attention (encoder self-attention; decoder
+/// self-attention always runs incrementally through Session, so there is no
+/// causal variant here).  Queries from `q_src`, keys/values from `kv_src`;
+/// returns the attention output (L, d_model) after the fused W_O projection
+/// and bias.  Each query row goes through the same attend_row kernel the
+/// decoder Session uses — one copy of the bit-identity-critical loop.
+Tensor attention_full(const Tensor& q_src, const Tensor& kv_src,
+                      const FusedAttentionWeights& w, int64_t d_head) {
+  const int64_t lq = q_src.rows(), lk = kv_src.rows(), d_model = w.wq.cols();
+  Tensor q, k, v;
+  matmul_into(q_src, w.wq, q);
+  matmul_into(kv_src, w.wk, k);
+  matmul_into(kv_src, w.wv, v);
+
+  Tensor ctx(lq, d_model);
+  std::vector<double> scores(static_cast<size_t>(lk));
+  for (int64_t i = 0; i < lq; ++i) {
+    attend_row(&q(i, 0), k.data().data(), v.data().data(), lk, d_model, d_head,
+               &ctx(i, 0), scores);
+  }
+  Tensor out;
+  matmul_into(ctx, w.wo, out);
+  for (int64_t r = 0; r < out.rows(); ++r) add_bias_row(&out(r, 0), w.bo);
+  return out;
+}
+
+/// Position-wise FFN over all rows: relu(x W_in + b_in) W_out + b_out.
+Tensor ffn_full(const Tensor& x, const FeedForwardWeights& w) {
+  Tensor h;
+  matmul_into(x, w.w_in, h);
+  for (int64_t r = 0; r < h.rows(); ++r) add_bias_row(&h(r, 0), w.b_in);
+  for (double& v : h.data()) v = v > 0.0 ? v : 0.0;
+  Tensor out;
+  matmul_into(h, w.w_out, out);
+  for (int64_t r = 0; r < out.rows(); ++r) add_bias_row(&out(r, 0), w.b_out);
+  return out;
+}
+
+/// Weight lookup by registry name, so the snapshot survives reordering of
+/// the registry as long as names stay stable.
+class WeightMap {
+ public:
+  explicit WeightMap(const Transformer& model) {
+    const auto& params = model.parameters();
+    const auto& names = model.parameter_names();
+    for (size_t i = 0; i < params.size(); ++i) {
+      by_name_[names[i]] = &params[i]->value;
+    }
+  }
+
+  const Tensor& get(const std::string& name) const {
+    auto it = by_name_.find(name);
+    if (it == by_name_.end()) {
+      throw InvalidArgument("InferenceEngine: missing parameter '" + name +
+                            "' in the transformer registry");
+    }
+    return *it->second;
+  }
+
+ private:
+  std::map<std::string, const Tensor*> by_name_;
+};
+
+/// Concatenates the per-head (d_model, d_head) projections of `site` into one
+/// (d_model, d_model) matrix, head h occupying columns [h*d_head, ...).
+Tensor fuse_heads(const WeightMap& w, const std::string& site,
+                  const char* which, int64_t d_model, int64_t d_head) {
+  const int64_t n_heads = d_model / d_head;
+  Tensor fused(d_model, d_model);
+  for (int64_t h = 0; h < n_heads; ++h) {
+    const Tensor& head =
+        w.get(site + ".h" + std::to_string(h) + "." + which);
+    if (head.rows() != d_model || head.cols() != d_head) {
+      throw InvalidArgument("InferenceEngine: unexpected head shape at " + site);
+    }
+    for (int64_t r = 0; r < d_model; ++r) {
+      for (int64_t c = 0; c < d_head; ++c) {
+        fused(r, h * d_head + c) = head(r, c);
+      }
+    }
+  }
+  return fused;
+}
+
+FusedAttentionWeights snapshot_attention(const WeightMap& w,
+                                         const std::string& site,
+                                         int64_t d_model, int64_t d_head) {
+  FusedAttentionWeights a;
+  a.wq = fuse_heads(w, site, "wq", d_model, d_head);
+  a.wk = fuse_heads(w, site, "wk", d_model, d_head);
+  a.wv = fuse_heads(w, site, "wv", d_model, d_head);
+  a.wo = w.get(site + ".wo");
+  a.bo = w.get(site + ".bo");
+  return a;
+}
+
+FeedForwardWeights snapshot_ffn(const WeightMap& w, const std::string& site) {
+  return FeedForwardWeights{w.get(site + ".in.w"), w.get(site + ".in.b"),
+                            w.get(site + ".out.w"), w.get(site + ".out.b")};
+}
+
+LayerNormWeights snapshot_norm(const WeightMap& w, const std::string& site) {
+  return LayerNormWeights{w.get(site + ".gamma"), w.get(site + ".beta")};
+}
+
+}  // namespace
+
+InferenceEngine::InferenceEngine(const Transformer& model)
+    : cfg_(model.config()), pos_(model.positional().table()) {
+  d_head_ = cfg_.d_model / cfg_.n_heads;
+  const WeightMap w(model);
+  src_embed_ = w.get("src_embed");
+  tgt_embed_ = w.get("tgt_embed");
+  out_w_ = w.get("out.w");
+  out_b_ = w.get("out.b");
+  for (int64_t l = 0; l < cfg_.n_layers; ++l) {
+    const std::string enc = "enc" + std::to_string(l);
+    EncoderLayerWeights e;
+    e.self = snapshot_attention(w, enc + ".self", cfg_.d_model, d_head_);
+    e.ffn = snapshot_ffn(w, enc + ".ffn");
+    e.norm1 = snapshot_norm(w, enc + ".norm1");
+    e.norm2 = snapshot_norm(w, enc + ".norm2");
+    encoder_.push_back(std::move(e));
+
+    const std::string dec = "dec" + std::to_string(l);
+    DecoderLayerWeights d;
+    d.self = snapshot_attention(w, dec + ".self", cfg_.d_model, d_head_);
+    d.cross = snapshot_attention(w, dec + ".cross", cfg_.d_model, d_head_);
+    d.ffn = snapshot_ffn(w, dec + ".ffn");
+    d.norm1 = snapshot_norm(w, dec + ".norm1");
+    d.norm2 = snapshot_norm(w, dec + ".norm2");
+    d.norm3 = snapshot_norm(w, dec + ".norm3");
+    decoder_.push_back(std::move(d));
+  }
+}
+
+Tensor InferenceEngine::encode(const std::vector<TokenId>& src) const {
+  if (src.empty()) {
+    throw InvalidArgument("InferenceEngine::encode: empty input");
+  }
+  const int64_t len = static_cast<int64_t>(src.size());
+  if (len > cfg_.max_len) {
+    throw InvalidArgument(
+        "InferenceEngine::encode: input length " + std::to_string(len) +
+        " exceeds the positional table (max_len " + std::to_string(cfg_.max_len) +
+        "); re-train with a larger max_len or shorten the input");
+  }
+  const double sqrt_d = std::sqrt(static_cast<double>(cfg_.d_model));
+  Tensor x(len, cfg_.d_model);
+  for (int64_t i = 0; i < len; ++i) {
+    const TokenId id = src[static_cast<size_t>(i)];
+    if (id < 0 || id >= src_embed_.rows()) {
+      throw InvalidArgument("InferenceEngine::encode: token id out of range");
+    }
+    for (int64_t c = 0; c < cfg_.d_model; ++c) {
+      x(i, c) = src_embed_(id, c) * sqrt_d + pos_(i, c);
+    }
+  }
+  for (const EncoderLayerWeights& layer : encoder_) {
+    const Tensor attn = attention_full(x, x, layer.self, d_head_);
+    for (int64_t i = 0; i < x.size(); ++i) x.at(i) += attn.at(i);
+    for (int64_t r = 0; r < len; ++r) {
+      layer_norm_row(&x(r, 0), cfg_.d_model, layer.norm1);
+    }
+    const Tensor ff = ffn_full(x, layer.ffn);
+    for (int64_t i = 0; i < x.size(); ++i) x.at(i) += ff.at(i);
+    for (int64_t r = 0; r < len; ++r) {
+      layer_norm_row(&x(r, 0), cfg_.d_model, layer.norm2);
+    }
+  }
+  return x;
+}
+
+InferenceEngine::Session::Session(const InferenceEngine& engine,
+                                  const std::vector<TokenId>& src)
+    : eng_(engine), memory_(engine.encode(src)),
+      logits_(1, engine.cfg_.vocab_size) {
+  const size_t layers = eng_.decoder_.size();
+  cross_k_.resize(layers);
+  cross_v_.resize(layers);
+  self_k_.resize(layers);
+  self_v_.resize(layers);
+  const size_t d = static_cast<size_t>(engine.cfg_.d_model);
+  x_.resize(d);
+  row_.resize(d);
+  ctx_.resize(d);
+  out_.resize(d);
+  if (!eng_.decoder_.empty()) {
+    ff_.resize(static_cast<size_t>(eng_.decoder_[0].ffn.w_in.cols()));
+  }
+  for (size_t l = 0; l < layers; ++l) {
+    // The reference recomputes K/V from the (fixed) memory every step; the
+    // values never change, so computing them once per request is exact.
+    matmul_into(memory_, eng_.decoder_[l].cross.wk, cross_k_[l]);
+    matmul_into(memory_, eng_.decoder_[l].cross.wv, cross_v_[l]);
+  }
+}
+
+const Tensor& InferenceEngine::Session::step(TokenId token) {
+  const TransformerConfig& cfg = eng_.cfg_;
+  if (length_ + 1 > cfg.max_len) {
+    throw InvalidArgument(
+        "InferenceEngine::Session::step: decoder length " +
+        std::to_string(length_ + 1) + " exceeds the positional table (max_len " +
+        std::to_string(cfg.max_len) + ")");
+  }
+  if (token < 0 || token >= eng_.tgt_embed_.rows()) {
+    throw InvalidArgument("InferenceEngine::Session::step: token id out of range");
+  }
+  const int64_t d = cfg.d_model;
+  const double sqrt_d = std::sqrt(static_cast<double>(d));
+  std::vector<double>& x = x_;
+  for (int64_t c = 0; c < d; ++c) {
+    x[static_cast<size_t>(c)] =
+        eng_.tgt_embed_(token, c) * sqrt_d + eng_.pos_(length_, c);
+  }
+
+  std::vector<double>& row = row_;
+  std::vector<double>& ctx = ctx_;
+  std::vector<double>& out = out_;
+  std::vector<double>& scores = scores_;
+  std::vector<double>& ff = ff_;
+  for (size_t l = 0; l < eng_.decoder_.size(); ++l) {
+    const DecoderLayerWeights& layer = eng_.decoder_[l];
+
+    // Masked self-attention: project this position's K/V once, append to the
+    // cache, attend the query against every cached position.  The causal mask
+    // is implicit — the cache only holds positions <= this one.
+    project_row(x.data(), layer.self.wk, row.data());
+    self_k_[l].insert(self_k_[l].end(), row.begin(), row.end());
+    project_row(x.data(), layer.self.wv, row.data());
+    self_v_[l].insert(self_v_[l].end(), row.begin(), row.end());
+    project_row(x.data(), layer.self.wq, row.data());
+    attend_row(row.data(), self_k_[l].data(), self_v_[l].data(), length_ + 1, d,
+               eng_.d_head_, ctx.data(), scores);
+    project_row(ctx.data(), layer.self.wo, out.data());
+    add_bias_row(out.data(), layer.self.bo);
+    for (int64_t c = 0; c < d; ++c) x[static_cast<size_t>(c)] += out[static_cast<size_t>(c)];
+    layer_norm_row(x.data(), d, layer.norm1);
+
+    // Cross-attention against the precomputed memory K/V.
+    project_row(x.data(), layer.cross.wq, row.data());
+    attend_row(row.data(), cross_k_[l].data().data(), cross_v_[l].data().data(),
+               memory_.rows(), d, eng_.d_head_, ctx.data(), scores);
+    project_row(ctx.data(), layer.cross.wo, out.data());
+    add_bias_row(out.data(), layer.cross.bo);
+    for (int64_t c = 0; c < d; ++c) x[static_cast<size_t>(c)] += out[static_cast<size_t>(c)];
+    layer_norm_row(x.data(), d, layer.norm2);
+
+    // Position-wise FFN.
+    ff.resize(static_cast<size_t>(layer.ffn.w_in.cols()));
+    project_row(x.data(), layer.ffn.w_in, ff.data());
+    add_bias_row(ff.data(), layer.ffn.b_in);
+    for (double& v : ff) v = v > 0.0 ? v : 0.0;
+    project_row(ff.data(), layer.ffn.w_out, out.data());
+    add_bias_row(out.data(), layer.ffn.b_out);
+    for (int64_t c = 0; c < d; ++c) x[static_cast<size_t>(c)] += out[static_cast<size_t>(c)];
+    layer_norm_row(x.data(), d, layer.norm3);
+  }
+
+  project_row(x.data(), eng_.out_w_, &logits_(0, 0));
+  add_bias_row(&logits_(0, 0), eng_.out_b_);
+  ++length_;
+  return logits_;
+}
+
+std::vector<TokenId> InferenceEngine::greedy_decode(
+    const std::vector<TokenId>& src, int64_t max_len) const {
+  Session session(*this, src);
+  // Same step clamp as Transformer::greedy_decode: the decoder input at step
+  // s holds s+1 tokens, so cfg_.max_len steps keep every position in range.
+  const int64_t steps = std::min(max_len, cfg_.max_len);
+  std::vector<TokenId> out;
+  TokenId prev = Vocabulary::kBos;
+  for (int64_t step = 0; step < steps; ++step) {
+    const Tensor& logits = session.step(prev);
+    TokenId best = 0;
+    double best_score = -1e300;
+    for (int64_t c = 0; c < logits.cols(); ++c) {
+      if (logits(0, c) > best_score) {
+        best_score = logits(0, c);
+        best = static_cast<TokenId>(c);
+      }
+    }
+    if (best == Vocabulary::kEos) break;
+    out.push_back(best);
+    prev = best;
+  }
+  return out;
+}
+
+std::vector<std::vector<TokenId>> InferenceEngine::greedy_decode_batch(
+    const std::vector<std::vector<TokenId>>& srcs, int64_t max_len,
+    int threads) const {
+  std::vector<std::vector<TokenId>> out(srcs.size());
+  if (srcs.empty()) return out;
+  // Requests are independent and share only the immutable engine, so the
+  // result is bit-identical for any pool size.  Never spawn more workers
+  // than requests (a batch of one stays inline).
+  par::ThreadPool pool(std::min(par::resolve_threads(threads),
+                                static_cast<int>(srcs.size())));
+  pool.parallel_for(srcs.size(), [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      out[i] = greedy_decode(srcs[i], max_len);
+    }
+  });
+  return out;
+}
+
+}  // namespace ota::ml

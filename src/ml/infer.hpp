@@ -1,0 +1,135 @@
+// Autograd-free batched inference engine for the trained transformer.
+//
+// Transformer (transformer.hpp) is the mutable build/train representation:
+// every forward constructs a Var graph so gradients can flow.  Greedy decoding
+// through it re-runs the full decoder over the whole prefix at every step —
+// O(L^2) work per token, O(L^3) per sequence — and allocates a throwaway
+// autograd graph each time.  InferenceEngine is the lean evaluation
+// representation compiled once from a trained model:
+//
+//  * weights are snapshotted into plain Tensors, with the per-head Q/K/V
+//    projections of each attention site fused into single d_model x d_model
+//    GEMMs (one matmul instead of 3*n_heads tiny ones);
+//  * encode runs once per request and the cross-attention K/V of every
+//    decoder layer are precomputed from the memory;
+//  * decoding is incremental through a per-layer KV cache, so each step is
+//    one-row work — O(L) per token, O(L^2) per sequence;
+//  * greedy_decode_batch decodes many requests concurrently on an ota::par
+//    thread pool (requests share only the immutable engine, so results are
+//    bit-identical for any thread count).
+//
+// Numerical contract: the engine's greedy token output is IDENTICAL — token
+// for token, bit for bit — to Transformer::greedy_decode.  Every loop here
+// replicates the accumulation order (and the zero-skip of the NN GEMM kernel
+// in tensor.cpp) of the reference ops, and fusing the head projections keeps
+// each output column's dot product unchanged because GEMM columns are
+// independent.  tests/test_infer.cpp property-tests this on trained models.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ml/transformer.hpp"
+
+namespace ota::ml {
+
+/// One attention site with the head projections fused column-wise: column
+/// block [h*d_head, (h+1)*d_head) of wq/wk/wv is head h's projection.
+struct FusedAttentionWeights {
+  Tensor wq, wk, wv;  ///< (d_model, d_model)
+  Tensor wo;          ///< (d_model, d_model)
+  Tensor bo;          ///< (1, d_model)
+};
+
+struct FeedForwardWeights {
+  Tensor w_in, b_in;    ///< (d_model, d_ff), (1, d_ff)
+  Tensor w_out, b_out;  ///< (d_ff, d_model), (1, d_model)
+};
+
+struct LayerNormWeights {
+  Tensor gamma, beta;  ///< (1, d_model)
+};
+
+struct EncoderLayerWeights {
+  FusedAttentionWeights self;
+  FeedForwardWeights ffn;
+  LayerNormWeights norm1, norm2;
+};
+
+struct DecoderLayerWeights {
+  FusedAttentionWeights self, cross;
+  FeedForwardWeights ffn;
+  LayerNormWeights norm1, norm2, norm3;
+};
+
+class InferenceEngine {
+ public:
+  /// Snapshots the model's weights.  The engine keeps no reference to the
+  /// Transformer; retraining or mutating it does not affect the engine.
+  explicit InferenceEngine(const Transformer& model);
+
+  const TransformerConfig& config() const { return cfg_; }
+
+  /// Encoder memory (L, d_model); bit-identical to Transformer::encode at
+  /// inference settings.  Throws InvalidArgument for an empty input or one
+  /// longer than the positional table.
+  Tensor encode(const std::vector<nlp::TokenId>& src) const;
+
+  /// Greedy decode, token-for-token identical to Transformer::greedy_decode
+  /// (max_len is clamped to config().max_len the same way).
+  std::vector<nlp::TokenId> greedy_decode(const std::vector<nlp::TokenId>& src,
+                                          int64_t max_len) const;
+
+  /// Decodes every request independently on a thread pool (`threads` 0 =
+  /// auto: OTA_THREADS env, else hardware concurrency; the pool is never
+  /// larger than the batch).  Results are positionally aligned with `srcs`
+  /// and bit-identical for any thread count, including 1.
+  std::vector<std::vector<nlp::TokenId>> greedy_decode_batch(
+      const std::vector<std::vector<nlp::TokenId>>& srcs, int64_t max_len,
+      int threads = 0) const;
+
+  /// Incremental decoding state for one request: the encoder memory, the
+  /// precomputed cross-attention K/V of every decoder layer, and the growing
+  /// self-attention KV cache.  step() feeds one token and returns the
+  /// next-token logits row.  Exposed for tests (incremental-vs-full logits
+  /// agreement) and for callers that need the logits, not just the argmax.
+  class Session {
+   public:
+    Session(const InferenceEngine& engine, const std::vector<nlp::TokenId>& src);
+
+    /// Feeds `token` at the next position and returns the logits (1, vocab)
+    /// for the following token.  Throws InvalidArgument once the decoder
+    /// length would exceed the positional table.
+    const Tensor& step(nlp::TokenId token);
+
+    /// Number of tokens fed so far.
+    int64_t length() const { return length_; }
+
+   private:
+    const InferenceEngine& eng_;
+    Tensor memory_;  ///< (L_src, d_model)
+    /// Per decoder layer: cross-attention K/V (L_src, d_model), computed once.
+    std::vector<Tensor> cross_k_, cross_v_;
+    /// Per decoder layer: self-attention KV cache, row-major (length_ rows of
+    /// d_model doubles), appended one row per step.
+    std::vector<std::vector<double>> self_k_, self_v_;
+    /// Scratch rows reused across steps (hot path: no per-token allocation).
+    std::vector<double> x_, row_, ctx_, out_, scores_, ff_;
+    Tensor logits_;  ///< (1, vocab)
+    int64_t length_ = 0;
+  };
+
+ private:
+  friend class Session;
+
+  TransformerConfig cfg_;
+  int64_t d_head_ = 0;
+  Tensor src_embed_, tgt_embed_;  ///< (vocab, d_model)
+  Tensor pos_;                    ///< (max_len, d_model) positional table
+  std::vector<EncoderLayerWeights> encoder_;
+  std::vector<DecoderLayerWeights> decoder_;
+  Tensor out_w_;  ///< (d_model, vocab)
+  Tensor out_b_;  ///< (1, vocab)
+};
+
+}  // namespace ota::ml

@@ -33,7 +33,9 @@ PositionalEncoding::PositionalEncoding(int64_t max_len, int64_t d_model)
 Var PositionalEncoding::forward(const Var& x) const {
   const int64_t len = x->value.rows();
   if (len > table_.rows()) {
-    throw InvalidArgument("PositionalEncoding: sequence longer than max_len");
+    throw InvalidArgument("PositionalEncoding: sequence length " +
+                          std::to_string(len) + " exceeds the positional table (max_len " +
+                          std::to_string(table_.rows()) + "); re-train with a larger max_len or shorten the input");
   }
   Tensor pos(len, x->value.cols());
   for (int64_t r = 0; r < len; ++r) {

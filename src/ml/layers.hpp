@@ -42,6 +42,8 @@ class PositionalEncoding {
   PositionalEncoding(int64_t max_len, int64_t d_model);
   /// Adds positions 0..L-1 to x (L,d).
   Var forward(const Var& x) const;
+  /// The raw (max_len, d_model) table; InferenceEngine reads it directly.
+  const Tensor& table() const { return table_; }
 
  private:
   Tensor table_;

@@ -1,5 +1,6 @@
 #include "ml/transformer.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <istream>
 #include <ostream>
@@ -79,8 +80,11 @@ Var Transformer::loss(const std::vector<TokenId>& src,
 std::vector<TokenId> Transformer::greedy_decode(const std::vector<TokenId>& src,
                                                 int64_t max_len) const {
   const Var memory = encode(src, /*training=*/false, inference_rng_);
+  // The decoder input at step s holds s+1 tokens; clamping the step budget to
+  // the positional-table size keeps every lookup in range.
+  const int64_t steps = std::min(max_len, cfg_.max_len);
   std::vector<TokenId> out{Vocabulary::kBos};
-  for (int64_t step = 0; step < max_len; ++step) {
+  for (int64_t step = 0; step < steps; ++step) {
     const Var logits = decode(memory, out, /*training=*/false, inference_rng_);
     const int64_t last = logits->value.rows() - 1;
     TokenId best = 0;

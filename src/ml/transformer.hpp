@@ -32,6 +32,10 @@ class Transformer {
 
   const TransformerConfig& config() const { return cfg_; }
   const std::vector<Var>& parameters() const { return reg_.parameters(); }
+  /// Registry names aligned with parameters(); InferenceEngine snapshots
+  /// weights by these names.
+  const std::vector<std::string>& parameter_names() const { return reg_.names(); }
+  const PositionalEncoding& positional() const { return pos_; }
 
   /// Encoder memory for a source token sequence.
   Var encode(const std::vector<nlp::TokenId>& src, bool training, Rng& rng) const;
@@ -48,7 +52,13 @@ class Transformer {
            const std::vector<double>& target_weights, Rng& rng,
            bool training = true) const;
 
-  /// Greedy autoregressive decoding until <eos> or max_len.
+  /// Greedy autoregressive decoding until <eos> or max_len.  `max_len` is
+  /// clamped to the positional table size (config().max_len) so a generous
+  /// token budget can never index past the table; an encoder input longer
+  /// than the table still throws (there is no way to shorten it for the
+  /// caller).  This Var-based path is the training/reference implementation;
+  /// production decoding goes through ml::InferenceEngine (infer.hpp), which
+  /// is property-tested to emit bit-identical tokens.
   std::vector<nlp::TokenId> greedy_decode(const std::vector<nlp::TokenId>& src,
                                           int64_t max_len) const;
 
