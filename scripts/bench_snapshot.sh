@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Captures a training-throughput snapshot as BENCH_train.json.
+#
+# Runs the bench_train_runtime sweep (1/2/4/8 threads, bit-identity gate)
+# from an existing build tree and leaves the JSON next to the repo root so
+# the perf trajectory accumulates data points across PRs.
+#
+# Usage: scripts/bench_snapshot.sh [build-dir]
+#   build-dir       defaults to ./build (the release preset's binaryDir)
+#   OTA_BENCH_JSON  overrides the output path (default BENCH_train.json)
+#   OTA_SCALE       tiny|small|paper, as for every bench (default small)
+#   OTA_TRAIN_SMOKE=1 for the quick {1,4}-thread smoke sweep
+set -euo pipefail
+
+build_dir=${1:-build}
+bench="$build_dir/bench/bench_train_runtime"
+if [[ ! -x "$bench" ]]; then
+  echo "error: $bench not built (cmake --build --preset release)" >&2
+  exit 2
+fi
+
+out=${OTA_BENCH_JSON:-BENCH_train.json}
+OTA_BENCH_JSON="$out" "$bench"
+echo "snapshot: $out"

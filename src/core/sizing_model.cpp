@@ -79,14 +79,10 @@ TrainHistory SizingModel::train(
   tokenizer_ = nlp::BpeTokenizer::train(corpus, {.num_merges = opt.bpe_merges});
 
   // Pre-encode everything once.
-  struct Example {
-    std::vector<TokenId> src, tgt;
-    std::vector<double> weights;
-  };
-  std::vector<Example> examples;
+  std::vector<ml::TrainExample> examples;
   examples.reserve(pairs.size());
   for (const auto& [e, d] : pairs) {
-    Example ex;
+    ml::TrainExample ex;
     ex.src = tokenizer_.encode(e);
     ex.tgt = tokenizer_.encode(d);
     ex.weights = target_weights(ex.tgt, opt.numeric_weight);
@@ -109,8 +105,14 @@ TrainHistory SizingModel::train(
   ml::AdamOptions aopt;
   aopt.lr = opt.lr;
   ml::Adam adam(model->parameters(), aopt);
+  // The batch size caps useful parallelism (and thus the replica count): a
+  // minibatch can never occupy more workers than it has examples.
+  ml::DataParallelTrainer trainer(*model, adam, opt.threads,
+                                  std::max(1, opt.batch_size));
 
-  // Validation split for the adaptive-lr schedule.
+  // All coordinator-side randomness (the split and the per-epoch shuffles)
+  // stays on this one Rng; dropout draws live on per-example counted streams
+  // inside the trainer, so the trajectory cannot depend on the thread count.
   Rng rng(opt.seed ^ 0xBADC0DE);
   std::vector<size_t> order(examples.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
@@ -121,34 +123,34 @@ TrainHistory SizingModel::train(
   const std::vector<size_t> val_idx(order.begin(), order.begin() + static_cast<long>(n_val));
   std::vector<size_t> train_idx(order.begin() + static_cast<long>(n_val), order.end());
 
+  std::vector<const ml::TrainExample*> val_batch;
+  val_batch.reserve(val_idx.size());
+  for (size_t idx : val_idx) val_batch.push_back(&examples[idx]);
+
+  const uint64_t dropout_seed = opt.seed ^ 0xD20990D5EEDULL;
+  uint64_t stream = 0;  // global example counter: one dropout stream each
+
   TrainHistory hist;
+  hist.threads = trainer.threads();
+  std::vector<const ml::TrainExample*> batch;
+  batch.reserve(static_cast<size_t>(std::max(1, opt.batch_size)));
   for (int epoch = 0; epoch < opt.epochs; ++epoch) {
     std::shuffle(train_idx.begin(), train_idx.end(), rng.engine());
     double total = 0.0;
-    int in_batch = 0;
-    for (size_t idx : train_idx) {
-      const Example& ex = examples[idx];
-      const ml::Var l = model->loss(ex.src, ex.tgt, ex.weights, rng);
-      total += l->value.at(0);
-      ml::backward(l);
-      if (++in_batch >= opt.batch_size) {
-        adam.step();
-        in_batch = 0;
-      }
+    const size_t bsz = static_cast<size_t>(std::max(1, opt.batch_size));
+    for (size_t b0 = 0; b0 < train_idx.size(); b0 += bsz) {
+      const size_t b1 = std::min(train_idx.size(), b0 + bsz);
+      batch.clear();
+      for (size_t i = b0; i < b1; ++i) batch.push_back(&examples[train_idx[i]]);
+      total += trainer.train_batch(batch, dropout_seed, stream);
+      stream += batch.size();
     }
-    if (in_batch > 0) adam.step();
     const double train_loss = total / static_cast<double>(train_idx.size());
     hist.train_loss.push_back(train_loss);
 
     double vloss = train_loss;
-    if (!val_idx.empty()) {
-      double vtotal = 0.0;
-      for (size_t idx : val_idx) {
-        const Example& ex = examples[idx];
-        vtotal += model->loss(ex.src, ex.tgt, ex.weights, rng, /*training=*/false)
-                      ->value.at(0);
-      }
-      vloss = vtotal / static_cast<double>(val_idx.size());
+    if (!val_batch.empty()) {
+      vloss = trainer.eval_sum(val_batch) / static_cast<double>(val_batch.size());
     }
     hist.val_loss.push_back(vloss);
     adam.observe_loss(vloss);

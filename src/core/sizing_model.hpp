@@ -12,6 +12,7 @@
 #include "core/predictor.hpp"
 #include "ml/adam.hpp"
 #include "ml/infer.hpp"
+#include "ml/trainer.hpp"
 #include "ml/transformer.hpp"
 #include "nlp/bpe.hpp"
 
@@ -19,7 +20,12 @@ namespace ota::core {
 
 struct TrainOptions {
   int epochs = 12;
-  int batch_size = 8;          ///< gradient-accumulation batch
+  int batch_size = 8;          ///< minibatch sharded across the worker pool
+  int threads = 0;             ///< 0 = auto (OTA_THREADS, then hardware),
+                               ///< capped at batch_size.  A pure performance
+                               ///< knob: the trajectory and final weights are
+                               ///< bit-identical for any value (see
+                               ///< ml/trainer.hpp).
   double lr = 1e-3;            ///< paper starts at 1e-4 at GPU scale
   double numeric_weight = 1.2; ///< paper: +20% on numeric tokens
   double val_fraction = 0.1;   ///< held out for the plateau lr schedule
@@ -38,6 +44,7 @@ struct TrainHistory {
   std::vector<double> train_loss;  ///< per epoch
   std::vector<double> val_loss;
   double seconds = 0.0;            ///< wall-clock training time
+  int threads = 1;                 ///< worker count the trainer resolved
 };
 
 /// A text-to-text sizing model over (encoder sequence, decoder sequence)
@@ -45,6 +52,9 @@ struct TrainHistory {
 class SizingModel : public Predictor {
  public:
   /// Trains tokenizer + transformer from scratch on the given pairs.
+  /// Minibatches are data-parallel over opt.threads workers through
+  /// ml::DataParallelTrainer; the loss trajectory and final weights are
+  /// bit-identical for any thread count at a fixed seed.
   TrainHistory train(const std::vector<std::pair<std::string, std::string>>& pairs,
                      const TrainOptions& opt);
 

@@ -15,16 +15,22 @@ Adam::Adam(std::vector<Var> params, const AdamOptions& opt)
 }
 
 void Adam::step() {
-  ++t_;
-  // Global-norm gradient clipping across all parameters.
-  double scale_factor = 1.0;
+  double total = 0.0;
   if (opt_.grad_clip > 0.0) {
-    double total = 0.0;
     for (const auto& p : params_) {
       if (!p->grad.same_shape(p->value)) continue;
       for (double g : p->grad.data()) total += g * g;
     }
-    const double norm = std::sqrt(total);
+  }
+  step_presquared(total);
+}
+
+void Adam::step_presquared(double grad_sq_sum) {
+  ++t_;
+  // Global-norm gradient clipping across all parameters.
+  double scale_factor = 1.0;
+  if (opt_.grad_clip > 0.0) {
+    const double norm = std::sqrt(grad_sq_sum);
     if (norm > opt_.grad_clip) scale_factor = opt_.grad_clip / norm;
   }
 

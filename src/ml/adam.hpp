@@ -24,7 +24,14 @@ class Adam {
   Adam(std::vector<Var> params, const AdamOptions& opt = {});
 
   /// Applies one update from the accumulated gradients, then zeroes them.
+  /// Computes the global clip norm in a single fused sweep before the update
+  /// pass (no per-tensor Tensor::norm calls).
   void step();
+
+  /// As step(), but takes the global gradient sum-of-squares the caller
+  /// already produced (the data-parallel trainer folds it into its gradient
+  /// reduction), so clipping costs no extra pass over the parameters here.
+  void step_presquared(double grad_sq_sum);
 
   /// Zeroes gradients without stepping.
   void zero_grad();

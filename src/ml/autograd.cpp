@@ -1,7 +1,7 @@
 #include "ml/autograd.hpp"
 
 #include <algorithm>
-#include <set>
+#include <unordered_set>
 
 namespace ota::ml {
 
@@ -38,9 +38,14 @@ void backward(const Var& root) {
   if (root->value.size() != 1) {
     throw InvalidArgument("backward: root must be a scalar");
   }
-  // Topological order by iterative DFS.
+  // Topological order by iterative DFS.  backward() runs once per training
+  // example, so the visited check is hot: a hash set (vs. a red-black tree)
+  // keeps it O(1) per edge.  Only membership is queried — iteration order
+  // never leaks into the gradient accumulation order.
   std::vector<Node*> order;
-  std::set<Node*> visited;
+  std::unordered_set<Node*> visited;
+  visited.reserve(256);
+  order.reserve(256);
   std::vector<std::pair<Node*, size_t>> stack{{root.get(), 0}};
   visited.insert(root.get());
   while (!stack.empty()) {

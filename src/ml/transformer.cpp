@@ -101,6 +101,20 @@ std::vector<TokenId> Transformer::greedy_decode(const std::vector<TokenId>& src,
   return {out.begin() + 1, out.end()};  // strip <bos>
 }
 
+void Transformer::copy_parameters_from(const Transformer& other) {
+  const auto& src = other.reg_.parameters();
+  const auto& dst = reg_.parameters();
+  if (src.size() != dst.size()) {
+    throw InvalidArgument("Transformer::copy_parameters_from: parameter count mismatch");
+  }
+  for (size_t i = 0; i < src.size(); ++i) {
+    if (!dst[i]->value.same_shape(src[i]->value)) {
+      throw InvalidArgument("Transformer::copy_parameters_from: shape mismatch");
+    }
+    dst[i]->value = src[i]->value;
+  }
+}
+
 void Transformer::save(std::ostream& os) const {
   const char magic[8] = {'o', 't', 'a', 't', 'f', 'm', 'r', '1'};
   os.write(magic, sizeof magic);

@@ -62,6 +62,11 @@ class Transformer {
   std::vector<nlp::TokenId> greedy_decode(const std::vector<nlp::TokenId>& src,
                                           int64_t max_len) const;
 
+  /// Overwrites every parameter value with `other`'s (architectures must
+  /// match).  The data-parallel trainer re-syncs its per-worker replicas
+  /// from the master model through this after each optimizer step.
+  void copy_parameters_from(const Transformer& other);
+
   /// Binary weight serialization (architecture must match on load).
   void save(std::ostream& os) const;
   void load(std::istream& is);

@@ -89,9 +89,15 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
 
 void ThreadPool::parallel_for(
     size_t n, const std::function<void(size_t, size_t)>& chunk_fn) {
+  parallel_for_chunked(
+      n, [&chunk_fn](size_t begin, size_t end, size_t) { chunk_fn(begin, end); });
+}
+
+void ThreadPool::parallel_for_chunked(
+    size_t n, const std::function<void(size_t, size_t, size_t)>& chunk_fn) {
   if (n == 0) return;
   if (workers_.empty() || n == 1 || on_worker_thread()) {
-    chunk_fn(0, n);
+    chunk_fn(0, n, 0);
     return;
   }
 
@@ -110,7 +116,7 @@ void ThreadPool::parallel_for(
     const size_t end = n * (c + 1) / n_chunks;
     enqueue([&barrier, &chunk_fn, begin, end, c] {
       try {
-        chunk_fn(begin, end);
+        chunk_fn(begin, end, c);
       } catch (...) {
         barrier.errors[c] = std::current_exception();
       }

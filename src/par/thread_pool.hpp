@@ -68,6 +68,14 @@ class ThreadPool {
   void parallel_for(size_t n,
                     const std::function<void(size_t, size_t)>& chunk_fn);
 
+  /// As parallel_for, but the callback also receives its 0-based chunk index:
+  /// `chunk_fn(begin, end, chunk)`.  At most max(1, size()) distinct chunk
+  /// indices exist and no index runs concurrently with itself, so call sites
+  /// can hold per-chunk mutable scratch (model replicas, accumulators)
+  /// indexed by it.  Inline, nested, and single-item runs use chunk 0.
+  void parallel_for_chunked(
+      size_t n, const std::function<void(size_t, size_t, size_t)>& chunk_fn);
+
   /// parallel_for that maps `fn(item, index)` over `in`, writing results in
   /// order into the returned vector.
   template <typename Out, typename In, typename Fn>

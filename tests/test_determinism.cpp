@@ -7,10 +7,13 @@
 // must still produce distinct outputs.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+
 #include "common/rng.hpp"
 #include "core/copilot.hpp"
 #include "core/metrics.hpp"
 #include "core/nearest_predictor.hpp"
+#include "core/sizing_model.hpp"
 
 namespace ota::core {
 namespace {
@@ -140,6 +143,93 @@ TEST_F(DeterminismTest, TargetSeedsDiffer) {
   const auto ta = targets_from_designs(ds.designs, 4, 0.05, 1);
   const auto tb = targets_from_designs(ds.designs, 4, 0.05, 2);
   EXPECT_NE(ta[0].ugf_hz, tb[0].ugf_hz);
+}
+
+// ---------------------------------------------------------------------------
+// Data-parallel training (ml::DataParallelTrainer via SizingModel::train).
+//
+// Synthetic text pairs keep these independent of (slow) dataset generation:
+// the property under test is purely that the thread count is a performance
+// knob — the per-epoch loss trajectory, the final weights, and the greedy
+// predictions must be bit-identical for OTA_THREADS-style worker counts of
+// 1, 3, and 8 at a fixed seed.
+
+std::vector<std::pair<std::string, std::string>> synthetic_pairs(int n) {
+  std::vector<std::pair<std::string, std::string>> pairs;
+  Rng rng(99);
+  for (int i = 0; i < n; ++i) {
+    char enc[96], dec[96];
+    std::snprintf(enc, sizeof enc, "gain %.2f bw %.2f ugf %.2f",
+                  rng.uniform(20.0, 60.0), rng.uniform(1.0, 9.0),
+                  rng.uniform(10.0, 90.0));
+    std::snprintf(dec, sizeof dec, "M1 w=%.2fu M2 w=%.2fu M3 w=%.2fu",
+                  rng.uniform(0.5, 20.0), rng.uniform(0.5, 20.0),
+                  rng.uniform(0.5, 20.0));
+    pairs.emplace_back(enc, dec);
+  }
+  return pairs;
+}
+
+TrainOptions tiny_train_options(int threads, uint64_t seed = 7) {
+  TrainOptions opt;
+  opt.epochs = 2;
+  opt.batch_size = 5;  // deliberately not a multiple of the example count
+  opt.threads = threads;
+  opt.bpe_merges = 48;
+  opt.d_model = 16;
+  opt.n_heads = 2;
+  opt.d_ff = 32;
+  opt.dropout = 0.1;  // nonzero: the counted dropout streams are on trial
+  opt.seed = seed;
+  return opt;
+}
+
+void expect_same_weights(const SizingModel& a, const SizingModel& b) {
+  const auto& pa = a.transformer().parameters();
+  const auto& pb = b.transformer().parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(pa[i]->value.data(), pb[i]->value.data())
+        << "parameter " << a.transformer().parameter_names()[i];
+  }
+}
+
+TEST_F(DeterminismTest, TrainingBitIdenticalAcrossThreadCounts) {
+  const auto pairs = synthetic_pairs(23);
+
+  SizingModel serial;
+  const TrainHistory h1 = serial.train(pairs, tiny_train_options(1));
+  ASSERT_EQ(h1.train_loss.size(), 2u);
+  EXPECT_EQ(h1.threads, 1);
+
+  SizingModel par8;
+  const TrainHistory h8 = par8.train(pairs, tiny_train_options(8));
+  // Worker count is capped at the batch size (5): more workers than
+  // examples per batch could never be occupied.
+  EXPECT_EQ(h8.threads, 5);
+
+  // Loss trajectory: exact, not approximate, equality per epoch.
+  EXPECT_EQ(h1.train_loss, h8.train_loss);
+  EXPECT_EQ(h1.val_loss, h8.val_loss);
+  expect_same_weights(serial, par8);
+  EXPECT_EQ(serial.predict(pairs[0].first, 40), par8.predict(pairs[0].first, 40));
+
+  // An odd worker count shards batches differently but must agree too.
+  SizingModel par3;
+  const TrainHistory h3 = par3.train(pairs, tiny_train_options(3));
+  EXPECT_EQ(h1.train_loss, h3.train_loss);
+  EXPECT_EQ(h1.val_loss, h3.val_loss);
+  expect_same_weights(serial, par3);
+}
+
+TEST_F(DeterminismTest, TrainingSeedsDiffer) {
+  const auto pairs = synthetic_pairs(12);
+  SizingModel a, b;
+  const TrainHistory ha = a.train(pairs, tiny_train_options(4, 7));
+  const TrainHistory hb = b.train(pairs, tiny_train_options(4, 8));
+  ASSERT_FALSE(ha.train_loss.empty());
+  ASSERT_FALSE(hb.train_loss.empty());
+  EXPECT_NE(ha.train_loss[0], hb.train_loss[0]);
 }
 
 }  // namespace
