@@ -1,24 +1,31 @@
 #!/usr/bin/env bash
-# Captures a training-throughput snapshot as BENCH_train.json.
+# Captures the perf-trajectory snapshots: BENCH_train.json + BENCH_ac.json.
 #
-# Runs the bench_train_runtime sweep (1/2/4/8 threads, bit-identity gate)
-# from an existing build tree and leaves the JSON next to the repo root so
-# the perf trajectory accumulates data points across PRs.
+# Runs the bench_train_runtime sweep (1/2/4/8 training threads, bit-identity
+# gate) and the bench_ac_sweep sweep (naive vs batched AC engine, bit-identity
+# + accuracy gates) from an existing build tree and leaves the JSON files next
+# to the repo root so the perf trajectory accumulates data points across PRs.
+# CI uploads the same files as workflow artifacts from its smoke runs.
 #
 # Usage: scripts/bench_snapshot.sh [build-dir]
-#   build-dir       defaults to ./build (the release preset's binaryDir)
-#   OTA_BENCH_JSON  overrides the output path (default BENCH_train.json)
-#   OTA_SCALE       tiny|small|paper, as for every bench (default small)
-#   OTA_TRAIN_SMOKE=1 for the quick {1,4}-thread smoke sweep
+#   build-dir        defaults to ./build (the release preset's binaryDir)
+#   OTA_BENCH_DIR    output directory for the JSON files (default .)
+#   OTA_SCALE        tiny|small|paper, as for every bench (default small)
+#   OTA_TRAIN_SMOKE=1 / OTA_AC_SMOKE=1 for the quick smoke sweeps
 set -euo pipefail
 
 build_dir=${1:-build}
-bench="$build_dir/bench/bench_train_runtime"
-if [[ ! -x "$bench" ]]; then
-  echo "error: $bench not built (cmake --build --preset release)" >&2
-  exit 2
-fi
+out_dir=${OTA_BENCH_DIR:-.}
+mkdir -p "$out_dir"
 
-out=${OTA_BENCH_JSON:-BENCH_train.json}
-OTA_BENCH_JSON="$out" "$bench"
-echo "snapshot: $out"
+for bench in bench_train_runtime bench_ac_sweep; do
+  bin="$build_dir/bench/$bench"
+  if [[ ! -x "$bin" ]]; then
+    echo "error: $bin not built (cmake --build --preset release)" >&2
+    exit 2
+  fi
+done
+
+OTA_BENCH_JSON="$out_dir/BENCH_train.json" "$build_dir/bench/bench_train_runtime"
+OTA_BENCH_JSON="$out_dir/BENCH_ac.json" "$build_dir/bench/bench_ac_sweep"
+echo "snapshots: $out_dir/BENCH_train.json $out_dir/BENCH_ac.json"

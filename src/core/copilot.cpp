@@ -125,7 +125,7 @@ SizingOutcome SizingCopilot::size(const Specs& target,
     // Stage IV: one SPICE verification.
     spice::EvalResult r;
     try {
-      r = spice::evaluate(topo_, tech_, widths);
+      r = spice::evaluate(topo_, tech_, widths, opt.measure);
       ++out.spice_simulations;
     } catch (const ConvergenceError&) {
       ++out.spice_simulations;

@@ -17,6 +17,7 @@
 #include "core/predictor.hpp"
 #include "core/sequence_builder.hpp"
 #include "lut/width_estimator.hpp"
+#include "spice/measure.hpp"
 
 namespace ota::core {
 
@@ -49,6 +50,10 @@ struct CopilotOptions {
   /// a common factor keeps all bias voltages (hence the gain) and scales all
   /// currents, gm and UGF/BW linearly — the gm/Id-methodology scaling step.
   int prediction_iterations = 3;
+  /// AC measurement configuration for the Stage IV verification simulation
+  /// (one batched sweep per candidate).  `measure.threads` stays 1 here
+  /// because campaigns shard whole sizing runs across the pool.
+  spice::MeasureOptions measure{};
 };
 
 struct SizingOutcome {

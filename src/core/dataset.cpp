@@ -92,7 +92,7 @@ Attempt run_attempt(circuit::Topology& topo, const device::Technology& tech,
   Attempt a;
   spice::EvalResult r;
   try {
-    r = spice::evaluate(topo, tech, widths);
+    r = spice::evaluate(topo, tech, widths, opt.measure);
   } catch (const ConvergenceError&) {
     a.kind = AttemptKind::DcFailure;
     return a;

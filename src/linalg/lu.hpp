@@ -7,6 +7,7 @@
 #include <cmath>
 #include <complex>
 #include <numeric>
+#include <utility>
 #include <vector>
 
 #include "common/error.hpp"
@@ -21,15 +22,109 @@ inline double magnitude(const std::complex<double>& x) { return std::abs(x); }
 
 /// In-place LU decomposition of a square matrix with partial pivoting.
 /// Solve multiple right-hand sides against one factorization.
+///
+/// A decomposition is reusable storage: `factor()` re-factors a new matrix
+/// into the existing buffers (no allocation when the size is unchanged), and
+/// the `solve_into` overloads write into caller-owned output buffers — the
+/// combination the AC sweep engine uses to solve thousands of frequency
+/// points without a single per-point allocation.
 template <typename T>
 class LuDecomposition {
  public:
+  /// An empty decomposition; call factor() before solving.
+  LuDecomposition() = default;
+
   /// Factors `a`; throws ConvergenceError when the matrix is numerically
   /// singular (pivot below `singular_tol` times the largest initial pivot).
   explicit LuDecomposition(Matrix<T> a, double singular_tol = 1e-14)
-      : lu_(std::move(a)), perm_(lu_.rows()) {
+      : lu_(std::move(a)) {
+    factor_in_place(singular_tol);
+  }
+
+  /// Re-factors `a`, reusing this decomposition's storage.  Copying the
+  /// input costs O(n^2) against the O(n^3) factorization and leaves the
+  /// caller's matrix intact for the next assembly pass.
+  void factor(const Matrix<T>& a, double singular_tol = 1e-14) {
+    lu_ = a;
+    factor_in_place(singular_tol);
+  }
+
+  /// As factor(), but exchanges buffers with `a` instead of copying: on
+  /// return `a` holds the previous decomposition's storage (unspecified
+  /// contents, correctly sized scratch after the first round trip).  For
+  /// hot loops that fully reassemble the matrix every iteration — the AC
+  /// sweep's per-frequency phase — this makes re-factoring allocation- and
+  /// copy-free.
+  void factor_swap(Matrix<T>& a, double singular_tol = 1e-14) {
+    std::swap(lu_, a);
+    factor_in_place(singular_tol);
+  }
+
+  /// Solves A x = b for the matrix given at construction.
+  std::vector<T> solve(const std::vector<T>& b) const {
+    std::vector<T> x;
+    solve_into(b, x);
+    return x;
+  }
+
+  /// As solve(), writing into `x` (resized to n; must not alias `b`).
+  void solve_into(const std::vector<T>& b, std::vector<T>& x) const {
+    const size_t n = lu_.rows();
+    if (b.size() != n) throw InvalidArgument("LU solve: rhs size mismatch");
+    x.resize(n);
+    // Forward substitution on the permuted RHS (L has implicit unit diagonal).
+    for (size_t r = 0; r < n; ++r) {
+      T acc = b[perm_[r]];
+      for (size_t c = 0; c < r; ++c) acc -= lu_(r, c) * x[c];
+      x[r] = acc;
+    }
+    // Back substitution through U.
+    for (size_t ri = n; ri-- > 0;) {
+      T acc = x[ri];
+      for (size_t c = ri + 1; c < n; ++c) acc -= lu_(ri, c) * x[c];
+      x[ri] = acc / lu_(ri, ri);
+    }
+  }
+
+  /// Multi-RHS solve: A X = B where B bundles k right-hand sides as the
+  /// columns of an n x k matrix.  Column j of the result is bit-identical to
+  /// solve() on column j: the substitution visits the same elements in the
+  /// same order, only interleaved across columns for cache locality.
+  Matrix<T> solve(const Matrix<T>& b) const {
+    Matrix<T> x;
+    solve_into(b, x);
+    return x;
+  }
+
+  /// As the multi-RHS solve(), writing into `x` (resized to n x k; must not
+  /// alias `b`).
+  void solve_into(const Matrix<T>& b, Matrix<T>& x) const {
+    const size_t n = lu_.rows();
+    const size_t k = b.cols();
+    if (b.rows() != n) throw InvalidArgument("LU solve: rhs rows mismatch");
+    if (x.rows() != n || x.cols() != k) x.reset(n, k);
+    for (size_t r = 0; r < n; ++r) {
+      for (size_t j = 0; j < k; ++j) x(r, j) = b(perm_[r], j);
+      for (size_t c = 0; c < r; ++c) {
+        const T l = lu_(r, c);
+        for (size_t j = 0; j < k; ++j) x(r, j) -= l * x(c, j);
+      }
+    }
+    for (size_t ri = n; ri-- > 0;) {
+      for (size_t c = ri + 1; c < n; ++c) {
+        const T u = lu_(ri, c);
+        for (size_t j = 0; j < k; ++j) x(ri, j) -= u * x(c, j);
+      }
+      const T d = lu_(ri, ri);
+      for (size_t j = 0; j < k; ++j) x(ri, j) = x(ri, j) / d;
+    }
+  }
+
+ private:
+  void factor_in_place(double singular_tol) {
     const size_t n = lu_.rows();
     if (lu_.cols() != n) throw InvalidArgument("LU: matrix must be square");
+    perm_.resize(n);
     std::iota(perm_.begin(), perm_.end(), size_t{0});
 
     double max_entry = 0.0;
@@ -65,27 +160,6 @@ class LuDecomposition {
     }
   }
 
-  /// Solves A x = b for the matrix given at construction.
-  std::vector<T> solve(const std::vector<T>& b) const {
-    const size_t n = lu_.rows();
-    if (b.size() != n) throw InvalidArgument("LU solve: rhs size mismatch");
-    std::vector<T> x(n);
-    // Forward substitution on the permuted RHS (L has implicit unit diagonal).
-    for (size_t r = 0; r < n; ++r) {
-      T acc = b[perm_[r]];
-      for (size_t c = 0; c < r; ++c) acc -= lu_(r, c) * x[c];
-      x[r] = acc;
-    }
-    // Back substitution through U.
-    for (size_t ri = n; ri-- > 0;) {
-      T acc = x[ri];
-      for (size_t c = ri + 1; c < n; ++c) acc -= lu_(ri, c) * x[c];
-      x[ri] = acc / lu_(ri, ri);
-    }
-    return x;
-  }
-
- private:
   Matrix<T> lu_;
   std::vector<size_t> perm_;
 };

@@ -1,10 +1,10 @@
 #include "spice/ac.hpp"
 
+#include <algorithm>
 #include <numbers>
 
 #include "common/error.hpp"
-#include "linalg/lu.hpp"
-#include "linalg/matrix.hpp"
+#include "par/thread_pool.hpp"
 
 namespace ota::spice {
 
@@ -14,86 +14,150 @@ using Cplx = complex<double>;
 
 AcAnalysis::AcAnalysis(const circuit::Netlist& netlist,
                        const device::Technology& tech, const DcSolution& dc)
-    : netlist_(netlist), devices_(small_signal_map(netlist, tech, dc)) {}
-
-std::vector<Cplx> AcAnalysis::solve(double f_hz) const {
+    : netlist_(netlist), devices_(small_signal_map(netlist, tech, dc)) {
   const int n_nodes = netlist_.node_count();
   const int n_vsrc = static_cast<int>(netlist_.vsources().size());
-  const int size = n_nodes - 1 + n_vsrc;
-  if (size == 0) throw InvalidArgument("AcAnalysis: empty netlist");
+  size_ = n_nodes - 1 + n_vsrc;
+  if (size_ == 0) throw InvalidArgument("AcAnalysis: empty netlist");
 
-  const double omega = 2.0 * std::numbers::pi * f_hz;
-  const Cplx jw{0.0, omega};
-
-  linalg::MatrixC y(static_cast<size_t>(size), static_cast<size_t>(size));
-  std::vector<Cplx> rhs(static_cast<size_t>(size), Cplx{});
+  const size_t n = static_cast<size_t>(size_);
+  g_.reset(n, n);
+  c_.reset(n, n);
+  rhs_.assign(n, Cplx{});
 
   auto vi = [&](circuit::NodeId id) { return static_cast<size_t>(id - 1); };
-  // Admittance between two nodes (either may be ground).
-  auto stamp_y = [&](circuit::NodeId a, circuit::NodeId b, Cplx g) {
-    if (a != kGround) y(vi(a), vi(a)) += g;
-    if (b != kGround) y(vi(b), vi(b)) += g;
+  // Admittance between two nodes (either may be ground) into matrix `m`.
+  auto stamp_y = [&](linalg::MatrixD& m, circuit::NodeId a, circuit::NodeId b,
+                     double g) {
+    if (a != kGround) m(vi(a), vi(a)) += g;
+    if (b != kGround) m(vi(b), vi(b)) += g;
     if (a != kGround && b != kGround) {
-      y(vi(a), vi(b)) -= g;
-      y(vi(b), vi(a)) -= g;
+      m(vi(a), vi(b)) -= g;
+      m(vi(b), vi(a)) -= g;
     }
   };
   // VCCS: current `g * v(cp, cn)` flowing from node `out_from` to `out_to`.
   auto stamp_vccs = [&](circuit::NodeId out_from, circuit::NodeId out_to,
                         circuit::NodeId cp, circuit::NodeId cn, double g) {
-    if (out_from != kGround && cp != kGround) y(vi(out_from), vi(cp)) += g;
-    if (out_from != kGround && cn != kGround) y(vi(out_from), vi(cn)) -= g;
-    if (out_to != kGround && cp != kGround) y(vi(out_to), vi(cp)) -= g;
-    if (out_to != kGround && cn != kGround) y(vi(out_to), vi(cn)) += g;
+    if (out_from != kGround && cp != kGround) g_(vi(out_from), vi(cp)) += g;
+    if (out_from != kGround && cn != kGround) g_(vi(out_from), vi(cn)) -= g;
+    if (out_to != kGround && cp != kGround) g_(vi(out_to), vi(cp)) -= g;
+    if (out_to != kGround && cn != kGround) g_(vi(out_to), vi(cn)) += g;
   };
 
   for (const auto& r : netlist_.resistors()) {
-    stamp_y(r.a, r.b, Cplx{1.0 / r.resistance, 0.0});
+    stamp_y(g_, r.a, r.b, 1.0 / r.resistance);
   }
   for (const auto& c : netlist_.capacitors()) {
-    stamp_y(c.a, c.b, jw * c.capacitance);
+    stamp_y(c_, c.a, c.b, c.capacitance);
   }
   for (const auto& m : netlist_.mosfets()) {
     const auto& ss = devices_.at(m.name);
     // Uniform small-signal convention (both polarities): the drain-source
     // channel current is gm*v(g,s) + gds*v(d,s), flowing drain -> source.
     stamp_vccs(m.drain, m.source, m.gate, m.source, ss.gm);
-    stamp_y(m.drain, m.source, Cplx{ss.gds, 0.0});
-    stamp_y(m.gate, m.source, jw * ss.cgs);
-    stamp_y(m.drain, m.source, jw * ss.cds);
+    stamp_y(g_, m.drain, m.source, ss.gds);
+    stamp_y(c_, m.gate, m.source, ss.cgs);
+    stamp_y(c_, m.drain, m.source, ss.cds);
   }
   for (const auto& s : netlist_.isources()) {
     // AC current s.ac flows pos -> neg through the source: it leaves `pos`.
-    if (s.pos != kGround) rhs[vi(s.pos)] -= s.ac;
-    if (s.neg != kGround) rhs[vi(s.neg)] += s.ac;
+    if (s.pos != kGround) rhs_[vi(s.pos)] -= s.ac;
+    if (s.neg != kGround) rhs_[vi(s.neg)] += s.ac;
   }
   const auto& vsrcs = netlist_.vsources();
   for (int k = 0; k < n_vsrc; ++k) {
     const auto& s = vsrcs[static_cast<size_t>(k)];
     const size_t row = static_cast<size_t>(n_nodes - 1 + k);
     if (s.pos != kGround) {
-      y(vi(s.pos), row) += 1.0;
-      y(row, vi(s.pos)) += 1.0;
+      g_(vi(s.pos), row) += 1.0;
+      g_(row, vi(s.pos)) += 1.0;
     }
     if (s.neg != kGround) {
-      y(vi(s.neg), row) -= 1.0;
-      y(row, vi(s.neg)) -= 1.0;
+      g_(vi(s.neg), row) -= 1.0;
+      g_(row, vi(s.neg)) -= 1.0;
     }
-    rhs[row] = s.ac;
+    rhs_[row] = s.ac;
   }
+}
 
-  const std::vector<Cplx> x = linalg::LuDecomposition<Cplx>(std::move(y)).solve(rhs);
+void AcAnalysis::solve_point(double f_hz, Workspace& ws) const {
+  const size_t n = static_cast<size_t>(size_);
+  const double omega = 2.0 * std::numbers::pi * f_hz;
+  if (ws.y.rows() != n || ws.y.cols() != n) ws.y.reset(n, n);
+  const std::vector<double>& g = g_.data();
+  const std::vector<double>& c = c_.data();
+  std::vector<Cplx>& y = ws.y.data();
+  for (size_t i = 0; i < y.size(); ++i) y[i] = Cplx{g[i], omega * c[i]};
+  // Swap, don't copy: the next point reassembles every entry of ws.y anyway,
+  // so the decomposition's previous buffer serves as its scratch.
+  ws.lu.factor_swap(ws.y);
+  ws.lu.solve_into(rhs_, ws.x);
+}
 
+void AcAnalysis::for_each_point(
+    const std::vector<double>& freqs, int threads,
+    const std::function<void(size_t, const Workspace&)>& sink) const {
+  const int workers =
+      std::min<int>(par::resolve_threads(threads),
+                    static_cast<int>(std::max<size_t>(freqs.size(), 1)));
+  par::ThreadPool pool(workers);
+  pool.parallel_for(freqs.size(), [&](size_t begin, size_t end) {
+    Workspace ws;
+    for (size_t i = begin; i < end; ++i) {
+      solve_point(freqs[i], ws);
+      sink(i, ws);
+    }
+  });
+}
+
+std::vector<Cplx> AcAnalysis::node_voltages(const Workspace& ws) const {
+  const int n_nodes = netlist_.node_count();
   std::vector<Cplx> v(static_cast<size_t>(n_nodes), Cplx{});
   for (int id = 1; id < n_nodes; ++id) {
-    v[static_cast<size_t>(id)] = x[vi(id)];
+    v[static_cast<size_t>(id)] = ws.x[static_cast<size_t>(id - 1)];
   }
   return v;
 }
 
+// Single-point calls run the same numeric phase as sweeps, against
+// per-thread scratch: bisection refinements in spice::measure hit this path
+// dozens of times per measurement, so it must be as allocation-free as a
+// sweep chunk.  Different-size systems interleaving on one thread just
+// trigger the size check in solve_point.
+std::vector<Cplx> AcAnalysis::solve(double f_hz) const {
+  thread_local Workspace ws;
+  solve_point(f_hz, ws);
+  return node_voltages(ws);
+}
+
 Cplx AcAnalysis::transfer(double f_hz, const std::string& node) const {
-  const auto v = solve(f_hz);
-  return v[static_cast<size_t>(netlist_.find_node(node))];
+  const circuit::NodeId id = netlist_.find_node(node);
+  if (id == kGround) return Cplx{};  // the reference node is identically zero
+  thread_local Workspace ws;
+  solve_point(f_hz, ws);
+  return ws.x[static_cast<size_t>(id - 1)];
+}
+
+std::vector<std::vector<Cplx>> AcAnalysis::sweep(
+    const std::vector<double>& freqs, int threads) const {
+  std::vector<std::vector<Cplx>> out(freqs.size());
+  for_each_point(freqs, threads, [&](size_t i, const Workspace& ws) {
+    out[i] = node_voltages(ws);
+  });
+  return out;
+}
+
+std::vector<Cplx> AcAnalysis::transfer_sweep(const std::vector<double>& freqs,
+                                             const std::string& node,
+                                             int threads) const {
+  const circuit::NodeId id = netlist_.find_node(node);
+  std::vector<Cplx> out(freqs.size());
+  if (id == kGround) return out;  // the reference node is identically zero
+  for_each_point(freqs, threads, [&](size_t i, const Workspace& ws) {
+    out[i] = ws.x[static_cast<size_t>(id - 1)];
+  });
+  return out;
 }
 
 }  // namespace ota::spice
