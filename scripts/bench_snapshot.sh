@@ -1,24 +1,28 @@
 #!/usr/bin/env bash
-# Captures the perf-trajectory snapshots: BENCH_train.json + BENCH_ac.json.
+# Captures the perf-trajectory snapshots: BENCH_train.json + BENCH_ac.json +
+# BENCH_campaign.json.
 #
 # Runs the bench_train_runtime sweep (1/2/4/8 training threads, bit-identity
-# gate) and the bench_ac_sweep sweep (naive vs batched AC engine, bit-identity
-# + accuracy gates) from an existing build tree and leaves the JSON files next
-# to the repo root so the perf trajectory accumulates data points across PRs.
+# gate), the bench_ac_sweep sweep (naive vs batched AC engine, bit-identity
+# + accuracy gates), and the bench_campaign_server run (concurrent sizing
+# campaigns vs the serial copilot, bit-identity + decode-batch-occupancy
+# gates) from an existing build tree and leaves the JSON files next to the
+# repo root so the perf trajectory accumulates data points across PRs.
 # CI uploads the same files as workflow artifacts from its smoke runs.
 #
 # Usage: scripts/bench_snapshot.sh [build-dir]
 #   build-dir        defaults to ./build (the release preset's binaryDir)
 #   OTA_BENCH_DIR    output directory for the JSON files (default .)
 #   OTA_SCALE        tiny|small|paper, as for every bench (default small)
-#   OTA_TRAIN_SMOKE=1 / OTA_AC_SMOKE=1 for the quick smoke sweeps
+#   OTA_TRAIN_SMOKE=1 / OTA_AC_SMOKE=1 / OTA_CAMPAIGN_SMOKE=1 for the quick
+#   smoke sweeps
 set -euo pipefail
 
 build_dir=${1:-build}
 out_dir=${OTA_BENCH_DIR:-.}
 mkdir -p "$out_dir"
 
-for bench in bench_train_runtime bench_ac_sweep; do
+for bench in bench_train_runtime bench_ac_sweep bench_campaign_server; do
   bin="$build_dir/bench/$bench"
   if [[ ! -x "$bin" ]]; then
     echo "error: $bin not built (cmake --build --preset release)" >&2
@@ -28,4 +32,5 @@ done
 
 OTA_BENCH_JSON="$out_dir/BENCH_train.json" "$build_dir/bench/bench_train_runtime"
 OTA_BENCH_JSON="$out_dir/BENCH_ac.json" "$build_dir/bench/bench_ac_sweep"
-echo "snapshots: $out_dir/BENCH_train.json $out_dir/BENCH_ac.json"
+OTA_BENCH_JSON="$out_dir/BENCH_campaign.json" "$build_dir/bench/bench_campaign_server"
+echo "snapshots: $out_dir/BENCH_train.json $out_dir/BENCH_ac.json $out_dir/BENCH_campaign.json"

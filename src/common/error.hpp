@@ -44,4 +44,12 @@ class InternalError : public Error {
   explicit InternalError(const std::string& what) : Error(what) {}
 };
 
+/// An asynchronous job was discarded before it ran (queue shut down without
+/// draining).  Waiting on its handle rethrows this instead of blocking
+/// forever — a cancelled job is answered, never lost.
+class Cancelled : public Error {
+ public:
+  explicit Cancelled(const std::string& what) : Error(what) {}
+};
+
 }  // namespace ota

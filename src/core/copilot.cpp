@@ -62,8 +62,8 @@ SizingCopilot::SizingCopilot(circuit::Topology topology,
                              const device::Technology& tech,
                              const SequenceBuilder& builder,
                              const Predictor& model, const LutSet& luts)
-    : topo_(std::move(topology)), tech_(tech), builder_(builder),
-      model_(model), luts_(luts) {}
+    : topo_(std::move(topology)), nominal_widths_(topo_.widths()),
+      tech_(tech), builder_(builder), model_(model), luts_(luts) {}
 
 bool SizingCopilot::meets(const Specs& achieved, const Specs& target,
                           const CopilotOptions& opt) const {
@@ -74,12 +74,22 @@ bool SizingCopilot::meets(const Specs& achieved, const Specs& target,
 
 SizingOutcome SizingCopilot::size(const Specs& target,
                                   const CopilotOptions& opt) {
+  SerialPredictionClient serial(model_);
+  return size(target, opt, serial);
+}
+
+SizingOutcome SizingCopilot::size(const Specs& target,
+                                  const CopilotOptions& opt,
+                                  PredictionClient& stage2) {
   const auto t0 = std::chrono::steady_clock::now();
   SizingOutcome out;
   out.target = target;
 
   Specs request = target;  // tightened on each miss (margin allocation)
-  std::vector<double> widths = topo_.widths();
+  // Start from the nominal widths, not topo_.widths(): evaluate() mutates the
+  // netlist, so the live topology still holds the previous campaign's final
+  // sizing.  Campaigns must not see each other through the copilot.
+  std::vector<double> widths = nominal_widths_;
 
   // Best candidate so far (by worst frequency-spec shortfall) for the
   // constant-density refinement rounds.
@@ -93,14 +103,12 @@ SizingOutcome SizingCopilot::size(const Specs& target,
     if (it < opt.prediction_iterations || best_widths.empty()) {
       // Stage II: predict device parameters for the requested specs.  The
       // refinement loop is sequential (each request depends on the previous
-      // verification), so this is a batch of one; going through the batch
-      // API keeps every Stage-II call site on one interface.  threads=1
-      // keeps the pool inline under runtime_stats' worker threads.
+      // verification), so from this campaign's view it is submit-then-wait;
+      // under a server the submit lands in the shared continuous-batching
+      // scheduler where it coalesces with other campaigns' decodes.
       const std::string predicted_text =
-          model_
-              .predict_batch({builder_.encoder_text(request)},
-                             opt.max_decode_tokens, /*threads=*/1)
-              .front();
+          stage2.submit(builder_.encoder_text(request), opt.max_decode_tokens)
+              ->wait();
       out.predicted = builder_.parse_decoder(predicted_text);
       // Stage III: parameters -> widths via the LUTs.
       widths = widths_from_params(topo_, tech_, luts_, out.predicted, widths);

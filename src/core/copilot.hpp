@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "core/prediction_client.hpp"
 #include "core/predictor.hpp"
 #include "core/sequence_builder.hpp"
 #include "lut/width_estimator.hpp"
@@ -75,13 +76,28 @@ class SizingCopilot {
                 const LutSet& luts);
 
   /// Sizes the OTA for `target` (specs are treated as minimum requirements).
+  /// Stage-II predictions run through the serial reference client (an
+  /// inline batch of one on the calling thread — the bit-identity baseline).
   SizingOutcome size(const Specs& target, const CopilotOptions& opt = {});
+
+  /// As above, with Stage-II predictions submitted through `stage2` —
+  /// under a campaign server this is the continuous-batching scheduler
+  /// client, so concurrent campaigns' decodes coalesce on one engine.  The
+  /// outcome (everything except the wall-clock `seconds`) is bit-identical
+  /// to the serial overload for any scheduler/batch configuration.
+  SizingOutcome size(const Specs& target, const CopilotOptions& opt,
+                     PredictionClient& stage2);
 
  private:
   bool meets(const Specs& achieved, const Specs& target,
              const CopilotOptions& opt) const;
 
   circuit::Topology topo_;
+  /// Widths the topology arrived with.  Every size() call starts from these,
+  /// not from whatever the previous campaign's verification simulations left
+  /// in topo_ — campaigns are hermetic, so a serial loop over one copilot is
+  /// bit-identical to a fresh copilot (or server worker) per campaign.
+  std::vector<double> nominal_widths_;
   const device::Technology& tech_;
   const SequenceBuilder& builder_;
   const Predictor& model_;

@@ -1,0 +1,71 @@
+// Asynchronous Stage-II submission: the seam between the copilot's
+// sequential refinement loop and whatever executes its predictions.
+//
+// The copilot's loop is inherently sequential (each request depends on the
+// previous verification), so from one campaign's point of view a prediction
+// is submit-then-wait.  What the seam buys is the server case: many
+// concurrent campaigns hand their submits to a shared continuous-batching
+// scheduler (serve::ScheduledPredictionClient over ml::DecodeScheduler),
+// which coalesces them into dynamic batches on one inference engine.  The
+// serial client below is the bit-identity reference — the scheduler-backed
+// path must produce byte-identical decoder text for every request.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/predictor.hpp"
+
+namespace ota::core {
+
+/// Submit an encoder text now, collect the decoded text later.
+class PredictionClient {
+ public:
+  /// One outstanding prediction.
+  class Handle {
+   public:
+    virtual ~Handle() = default;
+    /// Blocks until the prediction is available and returns the decoder
+    /// text.  Rethrows the request's error (cancellation, refused input).
+    virtual std::string wait() = 0;
+  };
+
+  virtual ~PredictionClient() = default;
+
+  /// Enqueues one prediction.  Implementations may compute eagerly (the
+  /// serial reference) or hand off to a batch scheduler; either way wait()
+  /// on the handle yields text bit-identical to
+  /// `predictor.predict_batch({encoder_text}, max_tokens, 1).front()`.
+  virtual std::unique_ptr<Handle> submit(const std::string& encoder_text,
+                                         int max_tokens) = 0;
+};
+
+/// The reference implementation: predicts synchronously on the submitting
+/// thread through the serial batch-of-one path — exactly the call the
+/// copilot's refinement loop used to make directly.
+class SerialPredictionClient : public PredictionClient {
+ public:
+  explicit SerialPredictionClient(const Predictor& model) : model_(model) {}
+
+  std::unique_ptr<Handle> submit(const std::string& encoder_text,
+                                 int max_tokens) override {
+    class Ready : public Handle {
+     public:
+      explicit Ready(std::string text) : text_(std::move(text)) {}
+      std::string wait() override { return text_; }
+
+     private:
+      std::string text_;
+    };
+    // threads=1 keeps the prediction inline under outer worker threads
+    // (campaign fan-out), as the direct call site always did.
+    return std::make_unique<Ready>(
+        model_.predict_batch({encoder_text}, max_tokens, /*threads=*/1)
+            .front());
+  }
+
+ private:
+  const Predictor& model_;
+};
+
+}  // namespace ota::core

@@ -177,6 +177,10 @@ std::string SizingModel::predict(const std::string& encoder_text,
 std::vector<std::string> SizingModel::predict_batch(
     const std::vector<std::string>& encoder_texts, int max_tokens,
     int threads) const {
+  // An empty batch has exactly one correct answer and needs no model for it;
+  // returning it up front keeps degenerate sweeps (0 validation designs, a
+  // drained campaign queue) from tripping over engine state.
+  if (encoder_texts.empty()) return {};
   if (!engine_) throw InvalidArgument("SizingModel::predict_batch: not trained");
   std::vector<std::vector<TokenId>> srcs;
   srcs.reserve(encoder_texts.size());

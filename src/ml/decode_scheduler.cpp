@@ -1,0 +1,234 @@
+#include "ml/decode_scheduler.hpp"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "common/error.hpp"
+#include "par/thread_pool.hpp"
+
+namespace ota::ml {
+
+using nlp::TokenId;
+using nlp::Vocabulary;
+
+/// One live sequence in the dynamic batch.  Owned by the scheduler thread;
+/// pool workers touch exactly one ActiveRequest per round (caller-indexed),
+/// so requests never share mutable state.
+struct DecodeScheduler::ActiveRequest {
+  std::shared_ptr<Ticket> ticket;
+  std::unique_ptr<InferenceEngine::Session> session;
+  TokenId prev = Vocabulary::kBos;
+  int64_t steps_done = 0;
+  int64_t budget = 0;  ///< min(max_tokens, cfg.max_len), as greedy_decode
+  bool finished = false;
+};
+
+const std::vector<TokenId>& DecodeScheduler::Ticket::wait() {
+  std::unique_lock<std::mutex> lk(mu);
+  cv.wait(lk, [this] { return finished; });
+  if (error) std::rethrow_exception(error);
+  return tokens;
+}
+
+bool DecodeScheduler::Ticket::done() const {
+  std::lock_guard<std::mutex> lk(mu);
+  return finished;
+}
+
+DecodeScheduler::DecodeScheduler(const InferenceEngine& engine)
+    : DecodeScheduler(engine, Options()) {}
+
+DecodeScheduler::DecodeScheduler(const InferenceEngine& engine, Options opt)
+    : engine_(engine), opt_(opt),
+      own_pool_(opt.threads > 0 ? std::make_unique<par::ThreadPool>(opt.threads)
+                                : nullptr),
+      pool_(own_pool_ ? *own_pool_ : par::global_pool()) {
+  if (opt_.max_batch < 1) opt_.max_batch = 1;
+  thread_ = std::thread([this] { loop(); });
+}
+
+DecodeScheduler::~DecodeScheduler() { shutdown(/*drain=*/true); }
+
+std::shared_ptr<DecodeScheduler::Ticket> DecodeScheduler::submit(
+    std::vector<TokenId> src, int64_t max_tokens) {
+  if (max_tokens <= 0) {
+    throw InvalidArgument(
+        "DecodeScheduler::submit: max_tokens must be positive, got " +
+        std::to_string(max_tokens) +
+        " (a zero token budget would silently decode nothing)");
+  }
+  auto ticket = std::make_shared<Ticket>();
+  ticket->src = std::move(src);
+  ticket->max_tokens = max_tokens;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stop_) {
+      throw InvalidArgument(
+          "DecodeScheduler::submit: scheduler is shut down and no longer "
+          "accepts requests");
+    }
+    pending_.push_back(ticket);
+    ++stats_.submitted;
+  }
+  cv_.notify_all();
+  return ticket;
+}
+
+void DecodeScheduler::shutdown(bool drain) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!stop_) {
+      stop_ = true;
+      drain_ = drain;
+    }
+  }
+  cv_.notify_all();
+  // Serialize the join so concurrent shutdown()/destructor calls are safe.
+  std::lock_guard<std::mutex> jl(join_mu_);
+  if (thread_.joinable()) thread_.join();
+}
+
+DecodeScheduler::Stats DecodeScheduler::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+void DecodeScheduler::publish(const std::shared_ptr<Ticket>& ticket) {
+  {
+    std::lock_guard<std::mutex> lk(ticket->mu);
+    ticket->finished = true;
+  }
+  ticket->cv.notify_all();
+}
+
+void DecodeScheduler::loop() {
+  std::vector<ActiveRequest> active;
+  std::vector<std::shared_ptr<Ticket>> admitted;
+  for (;;) {
+    bool cancel_everything = false;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      // Only sleep when the batch is empty: with live sessions the loop keeps
+      // stepping and just soaks up whatever new arrivals are pending.
+      if (active.empty()) {
+        cv_.wait(lk, [this] { return stop_ || !pending_.empty(); });
+      }
+      if (stop_ && !drain_) {
+        // Drainless shutdown: answer every queued request right here so no
+        // waiter blocks forever; in-flight sessions are answered below.
+        for (const auto& t : pending_) {
+          t->error = std::make_exception_ptr(
+              Cancelled("DecodeScheduler: request cancelled by shutdown"));
+          ++stats_.cancelled;
+          publish(t);
+        }
+        pending_.clear();
+        cancel_everything = true;
+      } else if (stop_ && pending_.empty() && active.empty()) {
+        break;  // drained
+      } else {
+        // Continuous admission: arrivals join the running batch up to
+        // max_batch; the rest queue until sequences retire.
+        while (!pending_.empty() &&
+               active.size() + admitted.size() <
+                   static_cast<size_t>(opt_.max_batch)) {
+          admitted.push_back(std::move(pending_.front()));
+          pending_.pop_front();
+        }
+      }
+    }
+    if (cancel_everything) {
+      std::lock_guard<std::mutex> lk(mu_);
+      for (auto& a : active) {
+        a.ticket->error = std::make_exception_ptr(
+            Cancelled("DecodeScheduler: request cancelled by shutdown"));
+        ++stats_.cancelled;
+        publish(a.ticket);
+      }
+      active.clear();
+      break;
+    }
+
+    // Session construction (the encode pass) runs outside the queue lock so
+    // submitters are never blocked behind it.  A request the engine refuses
+    // (empty input, over-long input) fails its ticket here.
+    for (auto& t : admitted) {
+      ActiveRequest a;
+      a.ticket = std::move(t);
+      try {
+        a.session =
+            std::make_unique<InferenceEngine::Session>(engine_, a.ticket->src);
+        a.budget = std::min<int64_t>(a.ticket->max_tokens,
+                                     engine_.config().max_len);
+        active.push_back(std::move(a));
+      } catch (...) {
+        a.ticket->error = std::current_exception();
+        std::lock_guard<std::mutex> lk(mu_);
+        ++stats_.failed;
+        publish(a.ticket);
+      }
+    }
+    admitted.clear();
+    if (active.empty()) continue;
+
+    // One continuous-batching round: every live session advances one token,
+    // fanned out across the pool.  Each worker touches only its own
+    // caller-indexed requests, so the per-request token stream is exactly
+    // greedy_decode's whatever the interleaving.
+    const size_t batch = active.size();
+    pool_.parallel_for(batch, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        ActiveRequest& a = active[i];
+        try {
+          const TokenId best = argmax_token(a.session->step(a.prev));
+          ++a.steps_done;
+          if (best == Vocabulary::kEos) {
+            a.finished = true;
+          } else {
+            // Pre-publication the ticket's token buffer belongs to the
+            // scheduler; waiters read it only after publish().
+            a.ticket->tokens.push_back(best);
+            a.prev = best;
+            if (a.steps_done >= a.budget) a.finished = true;
+          }
+        } catch (...) {
+          a.ticket->error = std::current_exception();
+          a.finished = true;
+        }
+      }
+    });
+
+    // Count the round before publishing any ticket: once a waiter's wait()
+    // returns, stats() must already include that request.
+    uint64_t served = 0, failed = 0;
+    for (const auto& a : active) {
+      if (a.finished) (a.ticket->error ? failed : served) += 1;
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ++stats_.rounds;
+      stats_.session_steps += batch;
+      stats_.peak_batch = std::max<uint64_t>(stats_.peak_batch, batch);
+      stats_.served += served;
+      stats_.failed += failed;
+    }
+
+    // Retire finished sequences immediately — their slots free up for the
+    // next round's admissions; survivors keep their relative order.
+    size_t live = 0;
+    for (auto& a : active) {
+      if (a.finished) {
+        publish(a.ticket);
+      } else {
+        if (live != static_cast<size_t>(&a - active.data())) {
+          active[live] = std::move(a);
+        }
+        ++live;
+      }
+    }
+    active.resize(live);
+  }
+}
+
+}  // namespace ota::ml

@@ -1,0 +1,141 @@
+// Continuous batching for the KV-cache inference engine.
+//
+// greedy_decode_batch parallelizes one caller's batch, but a server with many
+// concurrent campaigns issues its decodes one request at a time from many
+// threads — under that load the engine would decode batches of one and sit
+// mostly idle.  DecodeScheduler is the LLM-serving-style answer: callers
+// submit() decode requests from any thread and block on a Ticket; a dedicated
+// scheduler thread coalesces every outstanding request into one dynamic batch
+// and advances the whole batch one token per round on the engine's
+// incremental Sessions.  Batching is continuous, at token granularity:
+// requests join the running batch as they arrive (up to max_batch) and
+// finished sequences retire immediately — no waiting for stragglers, no
+// fixed batch boundaries.
+//
+// Determinism contract (property-tested under the DeterminismTest umbrella):
+// a request's result is bit-identical to InferenceEngine::greedy_decode of
+// the same (src, max_tokens) — regardless of arrival order, batch
+// composition, or pool width.  This falls out of the architecture rather
+// than of careful scheduling: each request decodes through its own Session
+// (private KV cache, private argmax chain, the exact loop greedy_decode
+// runs), and sessions never read each other's state, so WHAT is computed is
+// independent of WHEN the scheduler interleaves it.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "ml/infer.hpp"
+
+namespace ota::ml {
+
+class DecodeScheduler {
+ public:
+  struct Options {
+    /// Cap on concurrently-decoding sessions.  Arrivals beyond it queue and
+    /// join the batch as earlier sequences retire.
+    int max_batch = 64;
+    /// Intra-round fan-out: sessions step in parallel on this many workers.
+    /// 0 (default) = the persistent process-wide pool; > 0 = a dedicated
+    /// pool of that size owned by the scheduler.
+    int threads = 0;
+  };
+
+  /// One-shot handle for a submitted request.  Created by submit(); waiters
+  /// and the scheduler thread may touch it concurrently.
+  class Ticket {
+   public:
+    /// Blocks until the request finishes and returns its decoded tokens.
+    /// Rethrows the request's error instead (bad input at admission,
+    /// common::Cancelled on a drainless shutdown).  Idempotent: repeated
+    /// calls return (or rethrow) the same outcome.
+    const std::vector<nlp::TokenId>& wait();
+
+    /// True once the outcome (tokens or error) is published.
+    bool done() const;
+
+   private:
+    friend class DecodeScheduler;
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    bool finished = false;
+    std::vector<nlp::TokenId> tokens;  ///< written pre-publication by the
+                                       ///< scheduler thread only
+    std::exception_ptr error;
+    std::vector<nlp::TokenId> src;
+    int64_t max_tokens = 0;
+  };
+
+  /// Spawns the scheduler thread.  `engine` must outlive the scheduler.
+  /// (Two overloads rather than a defaulted Options argument: a nested
+  /// struct with member initializers cannot default-construct inside its
+  /// own enclosing class definition.)
+  explicit DecodeScheduler(const InferenceEngine& engine);
+  DecodeScheduler(const InferenceEngine& engine, Options opt);
+
+  /// shutdown(true): outstanding requests finish before the thread exits.
+  ~DecodeScheduler();
+  DecodeScheduler(const DecodeScheduler&) = delete;
+  DecodeScheduler& operator=(const DecodeScheduler&) = delete;
+
+  /// Enqueues one decode request; returns immediately.  Throws
+  /// InvalidArgument for max_tokens <= 0 or after shutdown() — a request
+  /// that could never be served is refused at the door, not queued.
+  std::shared_ptr<Ticket> submit(std::vector<nlp::TokenId> src,
+                                 int64_t max_tokens);
+
+  /// Stops accepting submissions and joins the scheduler thread.
+  /// drain=true serves every outstanding request first; drain=false answers
+  /// every unfinished request with common::Cancelled.  Either way each
+  /// request resolves exactly once: none lost, none double-served.
+  /// Idempotent; the first call's drain mode wins.
+  void shutdown(bool drain = true);
+
+  /// Monotone counters, readable at any time (consistent snapshot).
+  struct Stats {
+    uint64_t submitted = 0;
+    uint64_t served = 0;        ///< tickets resolved with tokens
+    uint64_t failed = 0;        ///< tickets resolved with an error
+    uint64_t cancelled = 0;     ///< tickets resolved with Cancelled
+    uint64_t rounds = 0;        ///< scheduler rounds that stepped >= 1 session
+    uint64_t session_steps = 0; ///< total single-session token steps
+    uint64_t peak_batch = 0;    ///< widest dynamic batch observed
+    /// Mean sessions advanced per round — the coalescing figure of merit:
+    /// 1.0 means the engine ran serially, > 1 means requests genuinely
+    /// shared rounds.
+    double mean_batch_occupancy() const {
+      return rounds > 0
+                 ? static_cast<double>(session_steps) / static_cast<double>(rounds)
+                 : 0.0;
+    }
+  };
+  Stats stats() const;
+
+ private:
+  struct ActiveRequest;
+  void loop();
+  static void publish(const std::shared_ptr<Ticket>& ticket);
+
+  const InferenceEngine& engine_;
+  Options opt_;
+  std::unique_ptr<par::ThreadPool> own_pool_;  ///< only when opt_.threads > 0
+  par::ThreadPool& pool_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<Ticket>> pending_;
+  bool stop_ = false;
+  bool drain_ = true;
+  Stats stats_;
+
+  std::mutex join_mu_;  ///< serializes shutdown()'s join
+  std::thread thread_;
+};
+
+}  // namespace ota::ml

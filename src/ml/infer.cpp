@@ -363,6 +363,18 @@ const Tensor& InferenceEngine::Session::step(TokenId token) {
   return logits_;
 }
 
+TokenId argmax_token(const Tensor& logits) {
+  TokenId best = 0;
+  double best_score = -1e300;
+  for (int64_t c = 0; c < logits.cols(); ++c) {
+    if (logits(0, c) > best_score) {
+      best_score = logits(0, c);
+      best = static_cast<TokenId>(c);
+    }
+  }
+  return best;
+}
+
 std::vector<TokenId> InferenceEngine::greedy_decode(
     const std::vector<TokenId>& src, int64_t max_len) const {
   Session session(*this, src);
@@ -372,15 +384,7 @@ std::vector<TokenId> InferenceEngine::greedy_decode(
   std::vector<TokenId> out;
   TokenId prev = Vocabulary::kBos;
   for (int64_t step = 0; step < steps; ++step) {
-    const Tensor& logits = session.step(prev);
-    TokenId best = 0;
-    double best_score = -1e300;
-    for (int64_t c = 0; c < logits.cols(); ++c) {
-      if (logits(0, c) > best_score) {
-        best_score = logits(0, c);
-        best = static_cast<TokenId>(c);
-      }
-    }
+    const TokenId best = argmax_token(session.step(prev));
     if (best == Vocabulary::kEos) break;
     out.push_back(best);
     prev = best;
@@ -390,20 +394,38 @@ std::vector<TokenId> InferenceEngine::greedy_decode(
 
 std::vector<std::vector<TokenId>> InferenceEngine::greedy_decode_batch(
     const std::vector<std::vector<TokenId>>& srcs, int64_t max_len,
-    int threads) const {
+    par::ThreadPool& pool) const {
   std::vector<std::vector<TokenId>> out(srcs.size());
   if (srcs.empty()) return out;
+  if (max_len <= 0) {
+    throw InvalidArgument(
+        "InferenceEngine::greedy_decode_batch: max_tokens must be positive, "
+        "got " + std::to_string(max_len) +
+        " (a zero token budget would silently decode nothing)");
+  }
   // Requests are independent and share only the immutable engine, so the
-  // result is bit-identical for any pool size.  Never spawn more workers
-  // than requests (a batch of one stays inline).
-  par::ThreadPool pool(std::min(par::resolve_threads(threads),
-                                static_cast<int>(srcs.size())));
+  // result is bit-identical for any pool size.
   pool.parallel_for(srcs.size(), [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
       out[i] = greedy_decode(srcs[i], max_len);
     }
   });
   return out;
+}
+
+std::vector<std::vector<TokenId>> InferenceEngine::greedy_decode_batch(
+    const std::vector<std::vector<TokenId>>& srcs, int64_t max_len,
+    int threads) const {
+  if (threads <= 0) {
+    // Default path: the persistent process-wide pool, so back-to-back batch
+    // calls reuse one set of workers instead of spawning a pool per call.
+    return greedy_decode_batch(srcs, max_len, par::global_pool());
+  }
+  // Explicit worker count: a dedicated pool of that size, never larger than
+  // the batch (a batch of one stays inline).
+  par::ThreadPool pool(
+      std::min(threads, static_cast<int>(std::max<size_t>(srcs.size(), 1))));
+  return greedy_decode_batch(srcs, max_len, pool);
 }
 
 }  // namespace ota::ml

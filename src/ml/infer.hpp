@@ -31,7 +31,17 @@
 
 #include "ml/transformer.hpp"
 
+namespace ota::par {
+class ThreadPool;
+}
+
 namespace ota::ml {
+
+/// Greedy next-token choice over a (1, vocab) logits row: the lowest index
+/// of the maximum value.  The single argmax used by every decode path —
+/// greedy_decode, greedy_decode_batch, and the continuous-batching
+/// DecodeScheduler — so tie-breaking can never diverge between them.
+nlp::TokenId argmax_token(const Tensor& logits);
 
 /// One attention site with the head projections fused column-wise: column
 /// block [h*d_head, (h+1)*d_head) of wq/wk/wv is head h's projection.
@@ -80,13 +90,22 @@ class InferenceEngine {
   std::vector<nlp::TokenId> greedy_decode(const std::vector<nlp::TokenId>& src,
                                           int64_t max_len) const;
 
-  /// Decodes every request independently on a thread pool (`threads` 0 =
-  /// auto: OTA_THREADS env, else hardware concurrency; the pool is never
-  /// larger than the batch).  Results are positionally aligned with `srcs`
-  /// and bit-identical for any thread count, including 1.
+  /// Decodes every request independently on a thread pool.  `threads` 0
+  /// (the default) runs on the persistent process-wide pool
+  /// (par::global_pool(), sized by OTA_THREADS / hardware concurrency at
+  /// first use); a positive count spawns a dedicated pool of that size for
+  /// the call — the path the determinism-sweep tests rely on.  Results are
+  /// positionally aligned with `srcs` and bit-identical for any thread
+  /// count, including 1.  Throws InvalidArgument when max_len <= 0 and the
+  /// batch is non-empty (decoding zero tokens is always a caller bug).
   std::vector<std::vector<nlp::TokenId>> greedy_decode_batch(
       const std::vector<std::vector<nlp::TokenId>>& srcs, int64_t max_len,
       int threads = 0) const;
+
+  /// As above, on a caller-owned pool (shared-pool call sites and tests).
+  std::vector<std::vector<nlp::TokenId>> greedy_decode_batch(
+      const std::vector<std::vector<nlp::TokenId>>& srcs, int64_t max_len,
+      par::ThreadPool& pool) const;
 
   /// Incremental decoding state for one request: the encoder memory, the
   /// precomputed cross-attention K/V of every decoder layer, and the growing

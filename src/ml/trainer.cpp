@@ -16,9 +16,14 @@ int effective_threads(int threads, int max_parallel) {
 
 DataParallelTrainer::DataParallelTrainer(Transformer& model, Adam& adam,
                                          int threads, int max_parallel)
-    : master_(model), adam_(adam),
-      pool_(effective_threads(threads, max_parallel)) {
-  const int n = std::max(1, pool_.size());
+    : DataParallelTrainer(model, adam, par::global_pool(), threads,
+                          max_parallel) {}
+
+DataParallelTrainer::DataParallelTrainer(Transformer& model, Adam& adam,
+                                         par::ThreadPool& pool, int threads,
+                                         int max_parallel)
+    : master_(model), adam_(adam), pool_(pool) {
+  const int n = std::max(1, effective_threads(threads, max_parallel));
   replicas_.reserve(static_cast<size_t>(n));
   for (int r = 0; r < n; ++r) {
     replicas_.push_back(std::make_unique<Transformer>(master_.config()));
@@ -45,8 +50,10 @@ double DataParallelTrainer::train_batch(
   losses_.assign(bsz, 0.0);
 
   // Phase 1: forward/backward, one replica per chunk, one slot per example.
+  // The chunk count is capped at the lane count so a shared pool wider than
+  // the replica set can never hand out a chunk index without a replica.
   pool_.parallel_for_chunked(
-      bsz, [&](size_t begin, size_t end, size_t chunk) {
+      bsz, replicas_.size(), [&](size_t begin, size_t end, size_t chunk) {
         Transformer& rep = *replicas_[chunk];
         const auto& rp = rep.parameters();
         for (size_t i = begin; i < end; ++i) {
@@ -103,7 +110,7 @@ double DataParallelTrainer::eval_sum(
   if (bsz == 0) return 0.0;
   losses_.assign(bsz, 0.0);
   pool_.parallel_for_chunked(
-      bsz, [&](size_t begin, size_t end, size_t chunk) {
+      bsz, replicas_.size(), [&](size_t begin, size_t end, size_t chunk) {
         Transformer& rep = *replicas_[chunk];
         Rng rng(0);  // dropout is disabled below; no draws happen
         for (size_t i = begin; i < end; ++i) {

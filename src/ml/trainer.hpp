@@ -39,21 +39,29 @@ class DataParallelTrainer {
   /// `model` is the master: Adam updates its parameters and the replicas
   /// re-sync from it after every step.  Both references must outlive the
   /// trainer.  `threads` <= 0 resolves via OTA_THREADS, then hardware.
-  /// `max_parallel` (> 0) additionally caps the worker count — callers pass
+  /// `max_parallel` (> 0) additionally caps the lane count — callers pass
   /// their batch size so a many-core host never allocates (or re-syncs)
-  /// replicas a batch can't occupy.
+  /// replicas a batch can't occupy.  Work executes on the persistent
+  /// process-wide pool (par::global_pool()); the resolved lane count only
+  /// bounds how many replicas — and hence chunks — a batch is sharded into,
+  /// which by the determinism contract cannot change the results.
   DataParallelTrainer(Transformer& model, Adam& adam, int threads = 0,
                       int max_parallel = 0);
 
-  /// Worker count backing the pool (1 when everything runs inline).
+  /// As above on a caller-owned pool (tests that pin a worker count).
+  DataParallelTrainer(Transformer& model, Adam& adam, par::ThreadPool& pool,
+                      int threads, int max_parallel);
+
+  /// Parallel lanes (model replicas); 1 when everything runs inline.
   int threads() const { return static_cast<int>(replicas_.size()); }
 
   /// Forward/backward over `batch`, ordered gradient reduction, one
   /// fused-clip Adam step, replica re-sync.  Example i draws dropout from
   /// Rng(dropout_seed, first_stream + i); the caller advances first_stream
   /// by batch.size() so every example in a run owns a unique stream.
-  /// Returns the batch's summed loss.  Must be called from outside the
-  /// pool's own workers (the coordinator thread).
+  /// Returns the batch's summed loss.  Calls from inside one of the pool's
+  /// own workers degrade to a single-lane inline run (same results, no
+  /// deadlock).
   double train_batch(const std::vector<const TrainExample*>& batch,
                      uint64_t dropout_seed, uint64_t first_stream);
 
@@ -66,7 +74,7 @@ class DataParallelTrainer {
 
   Transformer& master_;
   Adam& adam_;
-  par::ThreadPool pool_;
+  par::ThreadPool& pool_;  ///< global_pool() unless a test passed its own
   std::vector<std::unique_ptr<Transformer>> replicas_;
   std::vector<std::vector<Tensor>> slots_;  ///< per-example parameter grads
   std::vector<double> losses_;              ///< per-example losses

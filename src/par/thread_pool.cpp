@@ -95,13 +95,19 @@ void ThreadPool::parallel_for(
 
 void ThreadPool::parallel_for_chunked(
     size_t n, const std::function<void(size_t, size_t, size_t)>& chunk_fn) {
+  parallel_for_chunked(n, workers_.empty() ? 1 : workers_.size(), chunk_fn);
+}
+
+void ThreadPool::parallel_for_chunked(
+    size_t n, size_t max_chunks,
+    const std::function<void(size_t, size_t, size_t)>& chunk_fn) {
   if (n == 0) return;
-  if (workers_.empty() || n == 1 || on_worker_thread()) {
+  if (workers_.empty() || n == 1 || max_chunks <= 1 || on_worker_thread()) {
     chunk_fn(0, n, 0);
     return;
   }
 
-  const size_t n_chunks = std::min(n, workers_.size());
+  const size_t n_chunks = std::min({n, max_chunks, workers_.size()});
   struct Barrier {
     std::mutex mu;
     std::condition_variable cv;
@@ -130,6 +136,13 @@ void ThreadPool::parallel_for_chunked(
   for (const std::exception_ptr& e : barrier.errors) {
     if (e) std::rethrow_exception(e);
   }
+}
+
+ThreadPool& global_pool() {
+  // Function-local static: constructed on first use, joined cleanly during
+  // static destruction at exit (no leaked threads for the sanitizer gates).
+  static ThreadPool pool(resolve_threads(0));
+  return pool;
 }
 
 }  // namespace ota::par

@@ -76,6 +76,14 @@ class ThreadPool {
   void parallel_for_chunked(
       size_t n, const std::function<void(size_t, size_t, size_t)>& chunk_fn);
 
+  /// As above, but never partitions [0, n) into more than `max_chunks`
+  /// pieces, regardless of the pool size.  Lets a caller with k units of
+  /// per-chunk scratch (k model replicas, say) run on a shared pool that is
+  /// wider than k: chunk indices stay < max(1, max_chunks).
+  void parallel_for_chunked(
+      size_t n, size_t max_chunks,
+      const std::function<void(size_t, size_t, size_t)>& chunk_fn);
+
   /// parallel_for that maps `fn(item, index)` over `in`, writing results in
   /// order into the returned vector.
   template <typename Out, typename In, typename Fn>
@@ -98,5 +106,18 @@ class ThreadPool {
   std::condition_variable cv_;
   bool stop_ = false;
 };
+
+/// The process-wide persistent worker pool, constructed lazily on first use
+/// (size = resolve_threads(0): OTA_THREADS if set, else hardware concurrency)
+/// and kept alive until process exit.  The default execution substrate for
+/// every batched subsystem — decode batches (ml), AC sweeps (spice), training
+/// shards (ml) — so model replicas and workers survive across calls instead
+/// of being spawned per call, and concurrent subsystems share one set of OS
+/// threads instead of oversubscribing the host.  Nested parallel_for from one
+/// of its own workers degrades to an inline run (see parallel_for), so
+/// layered use is deadlock-free.  Call sites that need a specific worker
+/// count (determinism sweeps in tests, benches) keep constructing dedicated
+/// pools.
+ThreadPool& global_pool();
 
 }  // namespace ota::par

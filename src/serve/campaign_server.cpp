@@ -1,0 +1,243 @@
+#include "serve/campaign_server.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+#include "par/thread_pool.hpp"
+
+namespace ota::serve {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ScheduledPredictionClient
+
+std::unique_ptr<core::PredictionClient::Handle> ScheduledPredictionClient::submit(
+    const std::string& encoder_text, int max_tokens) {
+  class TicketHandle : public Handle {
+   public:
+    TicketHandle(const core::SizingModel& model,
+                 std::shared_ptr<ml::DecodeScheduler::Ticket> ticket)
+        : model_(model), ticket_(std::move(ticket)) {}
+
+    std::string wait() override {
+      // Ticket::wait rethrows the request's error (e.g. Cancelled on a
+      // drainless shutdown); the campaign worker surfaces it as Failed.
+      return model_.tokenizer().decode(ticket_->wait());
+    }
+
+   private:
+    const core::SizingModel& model_;
+    std::shared_ptr<ml::DecodeScheduler::Ticket> ticket_;
+  };
+
+  // Same tokenizer both ways as the serial path's predict_batch, so the
+  // round-tripped text is bit-identical to the reference client's.
+  return std::make_unique<TicketHandle>(
+      model_, scheduler_.submit(model_.tokenizer().encode(encoder_text),
+                                static_cast<int64_t>(max_tokens)));
+}
+
+// ---------------------------------------------------------------------------
+// CampaignServer::Job
+
+const CampaignResult& CampaignServer::Job::wait() {
+  std::unique_lock<std::mutex> lk(mu);
+  cv.wait(lk, [&] { return finished; });
+  return result;
+}
+
+bool CampaignServer::Job::done() const {
+  std::lock_guard<std::mutex> lk(mu);
+  return finished;
+}
+
+void CampaignServer::publish(const std::shared_ptr<Job>& job) {
+  // job->result was written by the resolving thread before this call; the
+  // mutex hand-off makes it visible to every waiter that observes finished.
+  {
+    std::lock_guard<std::mutex> lk(job->mu);
+    job->finished = true;
+  }
+  job->cv.notify_all();
+}
+
+// ---------------------------------------------------------------------------
+// CampaignServer
+
+CampaignServer::CampaignServer() : CampaignServer(Options()) {}
+
+CampaignServer::CampaignServer(Options opt) : opt_(opt) {
+  const int n = par::resolve_threads(opt_.workers);
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+CampaignServer::~CampaignServer() { shutdown(true); }
+
+void CampaignServer::register_topology(
+    const std::string& name, circuit::Topology topology,
+    const device::Technology& tech,
+    std::shared_ptr<const core::SizingModel> model,
+    std::shared_ptr<const core::LutSet> luts) {
+  if (!model || !luts) {
+    throw InvalidArgument("CampaignServer::register_topology: null model/luts");
+  }
+  // engine() doubles as the trained-model check (throws InvalidArgument
+  // otherwise) and is what the decode scheduler batches on.
+  const ml::InferenceEngine& engine = model->engine();
+
+  auto entry = std::make_unique<TopologyEntry>();
+  entry->topology = std::move(topology);
+  entry->tech = tech;
+  entry->model = std::move(model);
+  entry->luts = std::move(luts);
+  // The builder references the entry's own copies; the entry is heap-owned
+  // and never removed from the map, so the references stay valid for the
+  // server's lifetime.
+  entry->builder =
+      std::make_unique<core::SequenceBuilder>(entry->topology, entry->tech);
+  ml::DecodeScheduler::Options sopt;
+  sopt.max_batch = opt_.max_decode_batch;
+  sopt.threads = opt_.scheduler_threads;
+  entry->scheduler = std::make_unique<ml::DecodeScheduler>(engine, sopt);
+  entry->client =
+      std::make_unique<ScheduledPredictionClient>(*entry->model, *entry->scheduler);
+
+  std::lock_guard<std::mutex> lk(mu_);
+  if (stop_) {
+    throw InvalidArgument(
+        "CampaignServer::register_topology: server is shut down");
+  }
+  if (!topologies_.emplace(name, std::move(entry)).second) {
+    throw InvalidArgument("CampaignServer::register_topology: duplicate '" +
+                          name + "'");
+  }
+}
+
+std::shared_ptr<CampaignServer::Job> CampaignServer::submit(
+    CampaignRequest request) {
+  auto job = std::make_shared<Job>();
+  job->request = std::move(request);
+  job->submitted_at = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stop_) {
+      throw InvalidArgument("CampaignServer::submit: server is shut down");
+    }
+    if (topologies_.find(job->request.topology) == topologies_.end()) {
+      throw InvalidArgument("CampaignServer::submit: unknown topology '" +
+                            job->request.topology + "'");
+    }
+    queue_.push_back(job);
+    ++submitted_;
+  }
+  cv_.notify_one();
+  return job;
+}
+
+void CampaignServer::worker_loop() {
+  while (true) {
+    std::shared_ptr<Job> job;
+    TopologyEntry* entry = nullptr;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [&] { return stop_ || !queue_.empty(); });
+      if (stop_ && !drain_) {
+        // Drainless shutdown: answer everything unstarted, exactly once.
+        while (!queue_.empty()) {
+          auto cancelled = queue_.front();
+          queue_.pop_front();
+          ++cancelled_;
+          cancelled->result.status = CampaignStatus::Cancelled;
+          cancelled->result.error = "campaign cancelled by shutdown";
+          cancelled->result.total_seconds = seconds_since(cancelled->submitted_at);
+          publish(cancelled);
+        }
+        return;
+      }
+      if (queue_.empty()) return;  // stop_ && drain_: queue fully served
+      job = queue_.front();
+      queue_.pop_front();
+      // submit() validated the name, and entries are never removed, so the
+      // lookup cannot fail; the bare pointer stays valid outside the lock.
+      entry = topologies_.find(job->request.topology)->second.get();
+    }
+
+    CampaignResult res;
+    res.queue_seconds = seconds_since(job->submitted_at);
+    try {
+      // A fresh copilot per campaign: the copilot itself is cheap (the
+      // expensive state — model, engine, LUTs, builder — is shared through
+      // the entry), and private mutable state is what makes the result
+      // independent of which worker runs it.
+      core::SizingCopilot copilot(entry->topology, entry->tech, *entry->builder,
+                                  *entry->model, *entry->luts);
+      res.outcome =
+          copilot.size(job->request.target, job->request.options, *entry->client);
+      res.status = CampaignStatus::Served;
+    } catch (const std::exception& e) {
+      res.status = CampaignStatus::Failed;
+      res.error = e.what();
+    }
+    res.total_seconds = seconds_since(job->submitted_at);
+
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (res.status == CampaignStatus::Served) {
+        ++served_;
+      } else {
+        ++failed_;
+      }
+    }
+    job->result = std::move(res);
+    publish(job);
+  }
+}
+
+void CampaignServer::shutdown(bool drain) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!stop_) {
+      stop_ = true;
+      drain_ = drain;
+    }
+  }
+  cv_.notify_all();
+  std::lock_guard<std::mutex> jk(join_mu_);
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+CampaignServer::Stats CampaignServer::stats() const {
+  Stats s;
+  std::lock_guard<std::mutex> lk(mu_);
+  s.submitted = submitted_;
+  s.served = served_;
+  s.failed = failed_;
+  s.cancelled = cancelled_;
+  for (const auto& [name, entry] : topologies_) {
+    const auto d = entry->scheduler->stats();
+    s.decode.submitted += d.submitted;
+    s.decode.served += d.served;
+    s.decode.failed += d.failed;
+    s.decode.cancelled += d.cancelled;
+    s.decode.rounds += d.rounds;
+    s.decode.session_steps += d.session_steps;
+    s.decode.peak_batch = std::max(s.decode.peak_batch, d.peak_batch);
+  }
+  return s;
+}
+
+}  // namespace ota::serve

@@ -1,0 +1,188 @@
+// Sizing-as-a-service: a long-running campaign server.
+//
+// The paper's copilot runs one sizing campaign at a time; this subsystem
+// turns it into a system that serves sustained concurrent load.  A
+// CampaignServer owns, per registered topology, one trained SizingModel
+// (with its compiled ml::InferenceEngine) and one continuous-batching
+// ml::DecodeScheduler over that engine.  Clients submit() campaign requests
+// from any thread and block on a Job handle; a fixed set of worker threads
+// drains the FIFO job queue, running each campaign's Stage I-IV refinement
+// loop on a fresh copilot.  The Stage-II predictions of every live campaign
+// flow through the topology's shared scheduler, where they coalesce into
+// dynamic decode batches on the one engine — the LLM-serving architecture,
+// with SPICE verification taking the place of the client's "think time".
+//
+// Determinism contract: a campaign's SizingOutcome (everything except the
+// wall-clock `seconds`) is bit-identical to running the serial
+// SizingCopilot::size on the same request — for any worker count, arrival
+// order, or decode batch composition.  Each campaign runs on its own copilot
+// copy and its decodes run in private scheduler sessions, so concurrency
+// changes only WHEN work happens, never WHAT is computed.
+//
+// Queue contract: every submitted job resolves exactly once.  shutdown(true)
+// serves everything outstanding first; shutdown(false) answers unstarted
+// jobs with CampaignStatus::Cancelled.  Nothing is lost, nothing runs twice.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/copilot.hpp"
+#include "core/sizing_model.hpp"
+#include "ml/decode_scheduler.hpp"
+
+namespace ota::serve {
+
+/// Stage-II client backed by a topology's shared DecodeScheduler: submit
+/// tokenizes and enqueues; wait blocks on the scheduler ticket and
+/// detokenizes.  Many campaigns share one instance concurrently.
+class ScheduledPredictionClient : public core::PredictionClient {
+ public:
+  /// Both references must outlive the client; `scheduler` must run over
+  /// `model.engine()`.
+  ScheduledPredictionClient(const core::SizingModel& model,
+                            ml::DecodeScheduler& scheduler)
+      : model_(model), scheduler_(scheduler) {}
+
+  std::unique_ptr<Handle> submit(const std::string& encoder_text,
+                                 int max_tokens) override;
+
+ private:
+  const core::SizingModel& model_;
+  ml::DecodeScheduler& scheduler_;
+};
+
+/// One sizing campaign: which registered topology, what target, which knobs.
+struct CampaignRequest {
+  std::string topology;
+  core::Specs target;
+  core::CopilotOptions options{};
+};
+
+enum class CampaignStatus {
+  Served,     ///< the copilot ran; `outcome` is valid (inspect its .success)
+  Failed,     ///< the campaign threw; `error` carries the message
+  Cancelled,  ///< discarded unstarted by shutdown(false)
+};
+
+struct CampaignResult {
+  CampaignStatus status = CampaignStatus::Failed;
+  std::string error;
+  core::SizingOutcome outcome;
+  double queue_seconds = 0.0;  ///< submit -> worker pickup
+  double total_seconds = 0.0;  ///< submit -> resolution (p50/p99 latency basis)
+};
+
+class CampaignServer {
+ public:
+  struct Options {
+    /// Campaign worker threads draining the job queue.  0 = auto
+    /// (OTA_THREADS env, else hardware concurrency).  Workers are dedicated
+    /// threads, not pool lanes: a campaign blocks on decode tickets and
+    /// SPICE runs, and a blocked pool lane would stall unrelated work.
+    int workers = 0;
+    /// Per-topology cap on concurrently-decoding sessions.
+    int max_decode_batch = 64;
+    /// Worker count for each scheduler's intra-round fan-out: 0 = the
+    /// persistent process-wide pool, > 0 = a dedicated pool per topology.
+    int scheduler_threads = 0;
+  };
+
+  CampaignServer();
+  explicit CampaignServer(Options opt);
+  /// shutdown(true): outstanding campaigns finish before teardown.
+  ~CampaignServer();
+  CampaignServer(const CampaignServer&) = delete;
+  CampaignServer& operator=(const CampaignServer&) = delete;
+
+  /// Registers `model` (trained) under `name` and stands up its decode
+  /// scheduler.  The server keeps its own Topology/Technology copies, so
+  /// the caller's may go out of scope; `model` and `luts` are shared.
+  /// Throws InvalidArgument for an untrained model, a duplicate name, or a
+  /// shut-down server.  Safe to call while campaigns are in flight (new
+  /// submissions see the topology immediately).
+  void register_topology(const std::string& name, circuit::Topology topology,
+                         const device::Technology& tech,
+                         std::shared_ptr<const core::SizingModel> model,
+                         std::shared_ptr<const core::LutSet> luts);
+
+  /// One submitted campaign.  Resolves exactly once.
+  class Job {
+   public:
+    /// Blocks until the campaign resolves; repeated calls return the same
+    /// result.
+    const CampaignResult& wait();
+    bool done() const;
+
+   private:
+    friend class CampaignServer;
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    bool finished = false;
+    CampaignResult result;
+    CampaignRequest request;
+    std::chrono::steady_clock::time_point submitted_at;
+  };
+
+  /// Enqueues one campaign; returns immediately.  Throws InvalidArgument
+  /// for an unregistered topology or after shutdown().
+  std::shared_ptr<Job> submit(CampaignRequest request);
+
+  /// Stops accepting submissions and joins the workers.  drain=true serves
+  /// the whole queue first; drain=false cancels unstarted jobs (in-flight
+  /// campaigns still finish — a campaign is never torn down mid-loop).
+  /// Idempotent; the first call's drain mode wins.
+  void shutdown(bool drain = true);
+
+  struct Stats {
+    uint64_t submitted = 0;
+    uint64_t served = 0;
+    uint64_t failed = 0;
+    uint64_t cancelled = 0;
+    /// Decode-scheduler counters summed over every registered topology;
+    /// decode.mean_batch_occupancy() > 1 proves cross-campaign coalescing.
+    ml::DecodeScheduler::Stats decode;
+  };
+  Stats stats() const;
+
+  int workers() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  /// Everything the server owns for one registered topology.  Entries are
+  /// never removed, so workers may hold bare pointers across a campaign.
+  struct TopologyEntry {
+    circuit::Topology topology;
+    device::Technology tech;
+    std::shared_ptr<const core::SizingModel> model;
+    std::shared_ptr<const core::LutSet> luts;
+    std::unique_ptr<core::SequenceBuilder> builder;
+    std::unique_ptr<ml::DecodeScheduler> scheduler;
+    std::unique_ptr<ScheduledPredictionClient> client;
+  };
+
+  void worker_loop();
+  static void publish(const std::shared_ptr<Job>& job);
+
+  Options opt_;
+
+  mutable std::mutex mu_;  ///< guards queue_, topologies_, stop_/drain_, stats
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<Job>> queue_;
+  std::map<std::string, std::unique_ptr<TopologyEntry>> topologies_;
+  bool stop_ = false;
+  bool drain_ = true;
+  uint64_t submitted_ = 0, served_ = 0, failed_ = 0, cancelled_ = 0;
+
+  std::mutex join_mu_;  ///< serializes shutdown()'s join
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace ota::serve

@@ -98,17 +98,28 @@ void AcAnalysis::solve_point(double f_hz, Workspace& ws) const {
 void AcAnalysis::for_each_point(
     const std::vector<double>& freqs, int threads,
     const std::function<void(size_t, const Workspace&)>& sink) const {
-  const int workers =
-      std::min<int>(par::resolve_threads(threads),
-                    static_cast<int>(std::max<size_t>(freqs.size(), 1)));
-  par::ThreadPool pool(workers);
-  pool.parallel_for(freqs.size(), [&](size_t begin, size_t end) {
-    Workspace ws;
-    for (size_t i = begin; i < end; ++i) {
-      solve_point(freqs[i], ws);
-      sink(i, ws);
-    }
-  });
+  auto run = [&](par::ThreadPool& pool) {
+    pool.parallel_for(freqs.size(), [&](size_t begin, size_t end) {
+      Workspace ws;
+      for (size_t i = begin; i < end; ++i) {
+        solve_point(freqs[i], ws);
+        sink(i, ws);
+      }
+    });
+  };
+  if (threads <= 0) {
+    // Auto: the persistent process-wide pool — sweeps issued back to back
+    // (measure_ac's refinements, campaign verification under a server) reuse
+    // one set of workers instead of spawning a pool per sweep.  Nested calls
+    // from inside that pool degrade to inline runs, same results.
+    run(par::global_pool());
+    return;
+  }
+  // Explicit worker count (determinism sweeps in tests/benches): a dedicated
+  // pool, never wider than the point count.
+  par::ThreadPool pool(std::min<int>(
+      threads, static_cast<int>(std::max<size_t>(freqs.size(), 1))));
+  run(pool);
 }
 
 std::vector<Cplx> AcAnalysis::node_voltages(const Workspace& ws) const {

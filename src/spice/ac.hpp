@@ -49,10 +49,11 @@ class AcAnalysis {
 
   /// Batched sweep: node-voltage vectors (as solve()) for every frequency,
   /// in input order.  `threads` follows the repository convention — an
-  /// explicit worker count, or 0 for auto (OTA_THREADS env, else hardware
-  /// concurrency) — but defaults to 1 because AC sweeps commonly run inside
-  /// an outer parallel region (dataset generation, campaign evaluation).
-  /// Results are bit-identical for every thread count.
+  /// explicit worker count (a dedicated pool, for determinism sweeps), or 0
+  /// for the persistent process-wide pool (par::global_pool()) — but
+  /// defaults to 1 because AC sweeps commonly run inside an outer parallel
+  /// region (dataset generation, campaign evaluation).  Results are
+  /// bit-identical for every thread count.
   std::vector<std::vector<std::complex<double>>> sweep(
       const std::vector<double>& freqs, int threads = 1) const;
 

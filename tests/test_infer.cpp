@@ -141,6 +141,18 @@ TEST(InferenceEngine, BatchBitIdenticalAcrossThreadCounts) {
   EXPECT_EQ(serial, wide);
 }
 
+TEST(InferenceEngine, BatchRejectsNonpositiveTokenBudget) {
+  // A zero/negative budget on a non-empty batch would silently decode
+  // nothing; the engine refuses it with a readable error instead.  An empty
+  // batch is a no-op whatever the budget.
+  const Transformer& model = trained_model(5, 60);
+  const InferenceEngine engine(model);
+  EXPECT_THROW((void)engine.greedy_decode_batch({{4, 5}}, 0), InvalidArgument);
+  EXPECT_THROW((void)engine.greedy_decode_batch({{4, 5}}, -7, /*threads=*/8),
+               InvalidArgument);
+  EXPECT_TRUE(engine.greedy_decode_batch({}, 0).empty());
+}
+
 TEST(InferenceEngine, EncoderInputLongerThanTableThrows) {
   const Transformer model(tiny_config(7, /*max_len=*/8));
   const InferenceEngine engine(model);
@@ -213,6 +225,14 @@ TEST(SizingModelInfer, PredictBatchBitIdenticalAcrossThreadCounts) {
   for (const auto& t : texts) serial.push_back(model.predict(t, 64));
   EXPECT_EQ(model.predict_batch(texts, 64, /*threads=*/1), serial);
   EXPECT_EQ(model.predict_batch(texts, 64, /*threads=*/8), serial);
+}
+
+TEST(SizingModelInfer, PredictBatchEmptyInputReturnsEmpty) {
+  // The empty batch needs no engine at all — it must work even on an
+  // untrained model (degenerate sweeps, drained campaign queues).
+  const SizingModel untrained;
+  EXPECT_TRUE(untrained.predict_batch({}, 64).empty());
+  EXPECT_TRUE(trained_sizing_model().predict_batch({}, 64, 8).empty());
 }
 
 TEST(SizingModelInfer, EnginePredictionMatchesReferenceTransformer) {

@@ -1,0 +1,343 @@
+// Campaign-server and continuous-batching determinism tests.
+//
+// The serve layer's contract extends the repo-wide one: concurrency is a
+// performance knob, never a semantics knob.  A DecodeScheduler ticket must be
+// bit-identical to InferenceEngine::greedy_decode of the same request, and a
+// CampaignServer outcome must be bit-identical to the serial
+// SizingCopilot::size path — for any worker count, arrival order, or batch
+// composition.  The fixtures run under the DeterminismTest umbrella so the
+// TSan preset (which selects tests by name regex) races them with
+// OTA_THREADS=8.  Queue semantics are covered too: drain serves everything,
+// drainless cancellation answers everything, and nothing resolves twice.
+#include "serve/campaign_server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "ml/decode_scheduler.hpp"
+
+namespace ota::serve {
+namespace {
+
+using nlp::TokenId;
+
+class DeterminismTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    tech_ = new device::Technology(device::Technology::default65nm());
+    topo_ = new circuit::Topology(circuit::make_5t_ota(*tech_));
+    core::DataGenOptions dopt;
+    dopt.target_designs = 40;
+    dopt.max_attempts = 20000;
+    dopt.seed = 31;
+    dataset_ = new core::Dataset(core::generate_dataset(
+        *topo_, *tech_, core::SpecRange::for_topology("5T-OTA"), dopt));
+    builder_ = new core::SequenceBuilder(*topo_, *tech_);
+    luts_ = std::make_shared<const core::LutSet>(core::LutSet::build(*tech_));
+
+    // A tiny model trained on real builder text: accuracy is irrelevant,
+    // deterministic (and nontrivially structured) decoding is the property
+    // under test.
+    std::vector<std::pair<std::string, std::string>> pairs;
+    for (size_t i = 0; i < 30 && i < dataset_->designs.size(); ++i) {
+      const core::Design& d = dataset_->designs[i];
+      pairs.emplace_back(builder_->encoder_text(d.specs),
+                         builder_->decoder_text(d));
+    }
+    auto model = std::make_shared<core::SizingModel>();
+    core::TrainOptions topt;
+    topt.epochs = 2;
+    topt.d_model = 16;
+    topt.n_heads = 2;
+    topt.n_layers = 1;
+    topt.d_ff = 32;
+    topt.bpe_merges = 48;
+    topt.seed = 7;
+    model->train(pairs, topt);
+    model_ = new std::shared_ptr<const core::SizingModel>(std::move(model));
+  }
+
+  static void TearDownTestSuite() {
+    delete model_;
+    luts_.reset();
+    delete builder_;
+    delete dataset_;
+    delete topo_;
+    delete tech_;
+  }
+
+  static const core::SizingModel& model() { return **model_; }
+
+  static core::CopilotOptions campaign_options() {
+    core::CopilotOptions opt;
+    opt.max_iterations = 3;  // keeps the SPICE budget of the matrix small
+    opt.max_decode_tokens = 96;
+    return opt;
+  }
+
+  static std::vector<core::Specs> campaign_targets(int n) {
+    return core::targets_from_designs(dataset_->designs, n, 0.06, 17);
+  }
+
+  static device::Technology* tech_;
+  static circuit::Topology* topo_;
+  static core::Dataset* dataset_;
+  static core::SequenceBuilder* builder_;
+  static std::shared_ptr<const core::LutSet> luts_;
+  static std::shared_ptr<const core::SizingModel>* model_;
+};
+
+device::Technology* DeterminismTest::tech_ = nullptr;
+circuit::Topology* DeterminismTest::topo_ = nullptr;
+core::Dataset* DeterminismTest::dataset_ = nullptr;
+core::SequenceBuilder* DeterminismTest::builder_ = nullptr;
+std::shared_ptr<const core::LutSet> DeterminismTest::luts_;
+std::shared_ptr<const core::SizingModel>* DeterminismTest::model_ = nullptr;
+
+void expect_same_outcome(const core::SizingOutcome& a,
+                         const core::SizingOutcome& b) {
+  // Everything except the wall-clock `seconds` must agree bit-for-bit.
+  EXPECT_EQ(a.success, b.success);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.spice_simulations, b.spice_simulations);
+  EXPECT_EQ(a.widths, b.widths);
+  EXPECT_EQ(a.predicted, b.predicted);
+  EXPECT_EQ(a.achieved.gain_db, b.achieved.gain_db);
+  EXPECT_EQ(a.achieved.bw_hz, b.achieved.bw_hz);
+  EXPECT_EQ(a.achieved.ugf_hz, b.achieved.ugf_hz);
+  EXPECT_EQ(a.target.gain_db, b.target.gain_db);
+}
+
+// ---------------------------------------------------------------------------
+// DecodeScheduler
+
+TEST_F(DeterminismTest, SchedulerBitIdenticalToGreedyDecode) {
+  const ml::InferenceEngine& engine = model().engine();
+  const auto targets = campaign_targets(8);
+
+  std::vector<std::vector<TokenId>> srcs;
+  std::vector<std::vector<TokenId>> reference;
+  for (const auto& t : targets) {
+    srcs.push_back(model().tokenizer().encode(builder_->encoder_text(t)));
+    reference.push_back(engine.greedy_decode(srcs.back(), 96));
+  }
+
+  for (int threads : {1, 3, 8}) {
+    ml::DecodeScheduler::Options opt;
+    opt.max_batch = 4;  // smaller than the request count: forces queueing
+    opt.threads = threads;
+    ml::DecodeScheduler scheduler(engine, opt);
+
+    // Concurrent submitters in a shuffled order: arrival order and batch
+    // composition vary run to run, results must not.
+    std::vector<size_t> order(srcs.size());
+    std::iota(order.begin(), order.end(), size_t{0});
+    std::mt19937 shuffle_rng(1000 + static_cast<unsigned>(threads));
+    std::shuffle(order.begin(), order.end(), shuffle_rng);
+
+    std::vector<std::shared_ptr<ml::DecodeScheduler::Ticket>> tickets(srcs.size());
+    std::vector<std::thread> submitters;
+    for (int s = 0; s < 2; ++s) {
+      submitters.emplace_back([&, s] {
+        for (size_t i = static_cast<size_t>(s); i < order.size(); i += 2) {
+          tickets[order[i]] = scheduler.submit(srcs[order[i]], 96);
+        }
+      });
+    }
+    for (auto& t : submitters) t.join();
+
+    for (size_t i = 0; i < srcs.size(); ++i) {
+      EXPECT_EQ(tickets[i]->wait(), reference[i])
+          << "request " << i << " threads " << threads;
+    }
+    const auto stats = scheduler.stats();
+    EXPECT_EQ(stats.submitted, srcs.size());
+    EXPECT_EQ(stats.served, srcs.size());
+    EXPECT_LE(stats.peak_batch, 4u);
+  }
+}
+
+TEST_F(DeterminismTest, SchedulerRejectsBadSubmissions) {
+  ml::DecodeScheduler scheduler(model().engine());
+  const auto src = model().tokenizer().encode("SPEC 20dB");
+  EXPECT_THROW((void)scheduler.submit(src, 0), InvalidArgument);
+  EXPECT_THROW((void)scheduler.submit(src, -3), InvalidArgument);
+  scheduler.shutdown();
+  EXPECT_THROW((void)scheduler.submit(src, 16), InvalidArgument);
+}
+
+TEST_F(DeterminismTest, SchedulerDrainServesEveryRequestExactlyOnce) {
+  const ml::InferenceEngine& engine = model().engine();
+  const auto src = model().tokenizer().encode(
+      builder_->encoder_text(campaign_targets(1)[0]));
+  const auto reference = engine.greedy_decode(src, 64);
+
+  ml::DecodeScheduler scheduler(engine);
+  std::vector<std::shared_ptr<ml::DecodeScheduler::Ticket>> tickets;
+  for (int i = 0; i < 12; ++i) tickets.push_back(scheduler.submit(src, 64));
+  scheduler.shutdown(/*drain=*/true);
+
+  for (const auto& t : tickets) {
+    ASSERT_TRUE(t->done());
+    EXPECT_EQ(t->wait(), reference);
+  }
+  const auto stats = scheduler.stats();
+  EXPECT_EQ(stats.submitted, 12u);
+  EXPECT_EQ(stats.served, 12u);
+  EXPECT_EQ(stats.cancelled, 0u);
+}
+
+TEST_F(DeterminismTest, SchedulerDrainlessShutdownAnswersEveryRequest) {
+  const ml::InferenceEngine& engine = model().engine();
+  const auto src = model().tokenizer().encode(
+      builder_->encoder_text(campaign_targets(1)[0]));
+
+  ml::DecodeScheduler scheduler(engine);
+  std::vector<std::shared_ptr<ml::DecodeScheduler::Ticket>> tickets;
+  for (int i = 0; i < 12; ++i) tickets.push_back(scheduler.submit(src, 64));
+  scheduler.shutdown(/*drain=*/false);
+
+  // Every ticket must resolve exactly once: served before the shutdown won
+  // the race, or cancelled by it — never lost, never both.
+  uint64_t served = 0, cancelled = 0;
+  for (const auto& t : tickets) {
+    ASSERT_TRUE(t->done());
+    try {
+      (void)t->wait();
+      ++served;
+    } catch (const Cancelled&) {
+      ++cancelled;
+    }
+  }
+  EXPECT_EQ(served + cancelled, 12u);
+  const auto stats = scheduler.stats();
+  EXPECT_EQ(stats.submitted, 12u);
+  EXPECT_EQ(stats.served, served);
+  EXPECT_EQ(stats.cancelled, cancelled);
+}
+
+// ---------------------------------------------------------------------------
+// CampaignServer
+
+TEST_F(DeterminismTest, CampaignServerBitIdenticalToSerialCopilot) {
+  const auto targets = campaign_targets(6);
+  const auto opt = campaign_options();
+
+  // The bit-identity reference: the serial copilot path, one campaign at a
+  // time on this thread.
+  std::vector<core::SizingOutcome> reference;
+  {
+    core::SizingCopilot copilot(*topo_, *tech_, *builder_, model(), *luts_);
+    for (const auto& t : targets) reference.push_back(copilot.size(t, opt));
+  }
+
+  for (int workers : {1, 3, 8}) {
+    CampaignServer::Options sopt;
+    sopt.workers = workers;
+    sopt.max_decode_batch = 4;
+    CampaignServer server(sopt);
+    server.register_topology("5T-OTA", *topo_, *tech_, *model_, luts_);
+
+    std::vector<size_t> order(targets.size());
+    std::iota(order.begin(), order.end(), size_t{0});
+    std::mt19937 shuffle_rng(2000 + static_cast<unsigned>(workers));
+    std::shuffle(order.begin(), order.end(), shuffle_rng);
+
+    std::vector<std::shared_ptr<CampaignServer::Job>> jobs(targets.size());
+    for (size_t i : order) {
+      jobs[i] = server.submit({"5T-OTA", targets[i], opt});
+    }
+    for (size_t i = 0; i < targets.size(); ++i) {
+      const CampaignResult& res = jobs[i]->wait();
+      ASSERT_EQ(res.status, CampaignStatus::Served)
+          << "campaign " << i << " workers " << workers << ": " << res.error;
+      expect_same_outcome(res.outcome, reference[i]);
+      EXPECT_GE(res.total_seconds, res.queue_seconds);
+    }
+
+    const auto stats = server.stats();
+    EXPECT_EQ(stats.submitted, targets.size());
+    EXPECT_EQ(stats.served, targets.size());
+    EXPECT_EQ(stats.failed, 0u);
+    EXPECT_GT(stats.decode.served, 0u);
+  }
+}
+
+TEST_F(DeterminismTest, CampaignServerRejectsBadSubmissions) {
+  CampaignServer::Options sopt;
+  sopt.workers = 1;
+  CampaignServer server(sopt);
+  server.register_topology("5T-OTA", *topo_, *tech_, *model_, luts_);
+  EXPECT_THROW((void)server.submit({"no-such-topology", {}, {}}),
+               InvalidArgument);
+  EXPECT_THROW(server.register_topology("5T-OTA", *topo_, *tech_, *model_, luts_),
+               InvalidArgument);
+  server.shutdown();
+  EXPECT_THROW((void)server.submit({"5T-OTA", campaign_targets(1)[0], {}}),
+               InvalidArgument);
+  EXPECT_THROW(server.register_topology("other", *topo_, *tech_, *model_, luts_),
+               InvalidArgument);
+}
+
+TEST_F(DeterminismTest, CampaignServerDrainlessShutdownAnswersEveryJob) {
+  const auto targets = campaign_targets(6);
+  const auto opt = campaign_options();
+
+  CampaignServer::Options sopt;
+  sopt.workers = 1;  // one worker: most jobs still queued at shutdown
+  CampaignServer server(sopt);
+  server.register_topology("5T-OTA", *topo_, *tech_, *model_, luts_);
+
+  std::vector<std::shared_ptr<CampaignServer::Job>> jobs;
+  for (const auto& t : targets) jobs.push_back(server.submit({"5T-OTA", t, opt}));
+  server.shutdown(/*drain=*/false);
+
+  uint64_t served = 0, cancelled = 0, failed = 0;
+  for (const auto& job : jobs) {
+    ASSERT_TRUE(job->done());
+    const CampaignResult& res = job->wait();
+    switch (res.status) {
+      case CampaignStatus::Served: ++served; break;
+      case CampaignStatus::Failed: ++failed; break;
+      case CampaignStatus::Cancelled: ++cancelled; break;
+    }
+  }
+  EXPECT_EQ(served + cancelled + failed, jobs.size());
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.submitted, jobs.size());
+  EXPECT_EQ(stats.served, served);
+  EXPECT_EQ(stats.failed, failed);
+  EXPECT_EQ(stats.cancelled, cancelled);
+}
+
+TEST_F(DeterminismTest, CampaignServerDrainServesWholeQueue) {
+  const auto targets = campaign_targets(4);
+  const auto opt = campaign_options();
+
+  CampaignServer::Options sopt;
+  sopt.workers = 2;
+  CampaignServer server(sopt);
+  server.register_topology("5T-OTA", *topo_, *tech_, *model_, luts_);
+
+  std::vector<std::shared_ptr<CampaignServer::Job>> jobs;
+  for (const auto& t : targets) jobs.push_back(server.submit({"5T-OTA", t, opt}));
+  server.shutdown(/*drain=*/true);
+
+  for (const auto& job : jobs) {
+    ASSERT_TRUE(job->done());
+    EXPECT_EQ(job->wait().status, CampaignStatus::Served) << job->wait().error;
+  }
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.served, jobs.size());
+  EXPECT_EQ(stats.cancelled, 0u);
+}
+
+}  // namespace
+}  // namespace ota::serve
