@@ -7,7 +7,7 @@
 // -batching DecodeScheduler.  Reported: campaigns/sec for both paths, p50/p99
 // campaign latency under load, and the mean decode-batch occupancy.
 //
-// Three gates, enforced through the exit code:
+// Four gates, enforced through the exit code:
 //
 //  * bit-identity (always) — every server campaign outcome must match the
 //    serial copilot's bit-for-bit (everything except wall-clock seconds);
@@ -16,16 +16,24 @@
 //    queue behind the engine regardless of core count, so coalescing is
 //    observable even on a 1-core CI runner;
 //  * throughput (>= 4 hardware threads, not in smoke) — the server must
-//    clear 2x the serial campaigns/sec.
+//    clear 2x the serial campaigns/sec;
+//  * overload (always, incl. smoke) — a concurrent burst of 4x
+//    max_queue_depth submissions against the Reject policy, with every 5th
+//    admitted job cancelled, must account for every attempt exactly once
+//    (rejected + served + cancelled == attempts, failed == 0) while the
+//    queue never exceeds its cap (peak_queue_depth <= max_queue_depth).
 //
 // OTA_CAMPAIGN_SMOKE=1 shrinks the dataset/model and campaign count; the
 // Release CI job runs that mode.  Results are written as JSON (path from
 // OTA_BENCH_JSON, default BENCH_campaign.json) for scripts/bench_snapshot.sh.
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstring>
 #include <fstream>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common.hpp"
@@ -150,6 +158,70 @@ int main() {
   const auto stats = server.stats();
   server.shutdown();
 
+  // Path 3: overload — admission control under a burst.  A fresh bounded
+  // server (Reject policy) takes 4x its queue depth from 4 concurrent
+  // submitter threads; every 5th admitted job is cancelled.  The server must
+  // bound the queue (never deeper than the cap) and account for every
+  // attempt exactly once: rejected at the door, served, or cancelled.
+  const int overload_depth = smoke ? 4 : 8;
+  const int overload_attempts = 4 * overload_depth;
+  std::fprintf(stderr, "[bench] overload pass (%d attempts, queue cap %d)...\n",
+               overload_attempts, overload_depth);
+  serve::CampaignServer::Options oopt;
+  oopt.workers = 4;
+  oopt.max_decode_batch = 4;
+  oopt.max_queue_depth = overload_depth;
+  oopt.overflow = serve::OverflowPolicy::Reject;
+  serve::CampaignServer overload_server(oopt);
+  overload_server.register_topology("5T-OTA", topo, tech(), model, lut_set);
+
+  core::CopilotOptions cheap;  // short campaigns: the burst is the subject
+  cheap.max_iterations = 2;
+  cheap.max_decode_tokens = 64;
+
+  std::atomic<int> overload_rejected{0};
+  std::mutex jobs_mu;
+  std::vector<std::shared_ptr<serve::CampaignServer::Job>> overload_jobs;
+  {
+    std::vector<std::thread> submitters;
+    for (int s = 0; s < 4; ++s) {
+      submitters.emplace_back([&, s] {
+        for (int i = s; i < overload_attempts; i += 4) {
+          try {
+            auto job = overload_server.submit(
+                {"5T-OTA", targets[static_cast<size_t>(i) % targets.size()],
+                 cheap});
+            std::lock_guard<std::mutex> lk(jobs_mu);
+            overload_jobs.push_back(std::move(job));
+          } catch (const ServerOverloaded&) {
+            overload_rejected.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (auto& t : submitters) t.join();
+  }
+  for (size_t i = 0; i < overload_jobs.size(); i += 5) overload_jobs[i]->cancel();
+
+  uint64_t overload_served = 0, overload_cancelled = 0, overload_failed = 0;
+  for (const auto& job : overload_jobs) {
+    switch (job->wait().status) {
+      case serve::CampaignStatus::Served: ++overload_served; break;
+      case serve::CampaignStatus::Cancelled: ++overload_cancelled; break;
+      case serve::CampaignStatus::Failed: ++overload_failed; break;
+    }
+  }
+  const auto ostats = overload_server.stats();
+  overload_server.shutdown();
+  const bool overload_accounted =
+      overload_failed == 0 &&
+      static_cast<size_t>(overload_rejected.load()) + overload_jobs.size() ==
+          static_cast<size_t>(overload_attempts) &&
+      overload_served + overload_cancelled == overload_jobs.size() &&
+      ostats.rejected == static_cast<uint64_t>(overload_rejected.load());
+  const bool overload_bounded =
+      ostats.peak_queue_depth <= static_cast<uint64_t>(overload_depth);
+
   const double serial_rate =
       serial_seconds > 0.0 ? n_campaigns / serial_seconds : 0.0;
   const double server_rate =
@@ -171,13 +243,21 @@ int main() {
               static_cast<unsigned long long>(stats.decode.served));
   std::printf("results: %s\n", bit_identical ? "bit-identical to serial copilot"
                                              : "DIVERGED");
+  std::printf("overload: %d attempts -> %d rejected, %llu served, "
+              "%llu cancelled, %llu failed; peak queue %llu (cap %d)\n",
+              overload_attempts, overload_rejected.load(),
+              static_cast<unsigned long long>(overload_served),
+              static_cast<unsigned long long>(overload_cancelled),
+              static_cast<unsigned long long>(overload_failed),
+              static_cast<unsigned long long>(ostats.peak_queue_depth),
+              overload_depth);
 
   const char* json_env = std::getenv("OTA_BENCH_JSON");
   const std::string json_path = json_env && *json_env ? json_env
                                                       : "BENCH_campaign.json";
   {
     std::ofstream js(json_path);
-    char buf[640];
+    char buf[1024];
     std::snprintf(buf, sizeof buf,
                   "{\n  \"bench\": \"campaign_server\",\n"
                   "  \"scale\": \"%s\",\n  \"smoke\": %s,\n"
@@ -188,12 +268,20 @@ int main() {
                   "  \"speedup\": %.3f,\n  \"latency_p50_s\": %.4f,\n"
                   "  \"latency_p99_s\": %.4f,\n"
                   "  \"decode_occupancy\": %.3f,\n  \"decode_peak_batch\": %llu,\n"
+                  "  \"overload_attempts\": %d,\n  \"overload_rejected\": %d,\n"
+                  "  \"overload_served\": %llu,\n  \"overload_cancelled\": %llu,\n"
+                  "  \"overload_peak_queue_depth\": %llu,\n"
+                  "  \"overload_queue_cap\": %d,\n"
                   "  \"bit_identical\": %s\n}\n",
                   sc.name.c_str(), smoke ? "true" : "false", n_campaigns,
                   n_workers, serial_seconds, server_seconds, serial_rate,
                   server_rate, speedup, p50, p99, occupancy,
                   static_cast<unsigned long long>(stats.decode.peak_batch),
-                  bit_identical ? "true" : "false");
+                  overload_attempts, overload_rejected.load(),
+                  static_cast<unsigned long long>(overload_served),
+                  static_cast<unsigned long long>(overload_cancelled),
+                  static_cast<unsigned long long>(ostats.peak_queue_depth),
+                  overload_depth, bit_identical ? "true" : "false");
     js << buf;
   }
   std::printf("\nwrote %s\n", json_path.c_str());
@@ -201,6 +289,23 @@ int main() {
   if (!bit_identical) {
     std::fprintf(stderr, "FAIL: server campaigns diverged from the serial "
                  "copilot path\n");
+    return 1;
+  }
+  if (!overload_accounted) {
+    std::fprintf(stderr, "FAIL: overload burst not accounted exactly once "
+                 "(%d attempts vs %d rejected + %zu admitted; %llu served + "
+                 "%llu cancelled + %llu failed)\n",
+                 overload_attempts, overload_rejected.load(),
+                 overload_jobs.size(),
+                 static_cast<unsigned long long>(overload_served),
+                 static_cast<unsigned long long>(overload_cancelled),
+                 static_cast<unsigned long long>(overload_failed));
+    return 1;
+  }
+  if (!overload_bounded) {
+    std::fprintf(stderr, "FAIL: queue grew to %llu, past its cap of %d\n",
+                 static_cast<unsigned long long>(ostats.peak_queue_depth),
+                 overload_depth);
     return 1;
   }
   // The occupancy gate holds on any host: with 8 workers submitting and one

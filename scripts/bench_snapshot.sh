@@ -5,8 +5,9 @@
 # Runs the bench_train_runtime sweep (1/2/4/8 training threads, bit-identity
 # gate), the bench_ac_sweep sweep (naive vs batched AC engine, bit-identity
 # + accuracy gates), and the bench_campaign_server run (concurrent sizing
-# campaigns vs the serial copilot, bit-identity + decode-batch-occupancy
-# gates) from an existing build tree and leaves the JSON files next to the
+# campaigns vs the serial copilot, bit-identity + decode-batch-occupancy +
+# overload/admission-control gates) from an existing build tree and leaves
+# the JSON files next to the
 # repo root so the perf trajectory accumulates data points across PRs.
 # CI uploads the same files as workflow artifacts from its smoke runs.
 #

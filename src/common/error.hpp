@@ -44,12 +44,22 @@ class InternalError : public Error {
   explicit InternalError(const std::string& what) : Error(what) {}
 };
 
-/// An asynchronous job was discarded before it ran (queue shut down without
-/// draining).  Waiting on its handle rethrows this instead of blocking
+/// An asynchronous job was cancelled before completing: discarded unstarted
+/// by a drainless queue shutdown, cancelled by its caller, or expired past
+/// its deadline.  Waiting on its handle rethrows this instead of blocking
 /// forever — a cancelled job is answered, never lost.
 class Cancelled : public Error {
  public:
   explicit Cancelled(const std::string& what) : Error(what) {}
+};
+
+/// A server refused an admission because its job queue is at capacity (the
+/// Reject overflow policy, or a Block-policy wait that hit its timeout).
+/// Unlike Cancelled this is thrown from submit() itself: the job was never
+/// accepted, so there is no handle to wait on.
+class ServerOverloaded : public Error {
+ public:
+  explicit ServerOverloaded(const std::string& what) : Error(what) {}
 };
 
 }  // namespace ota

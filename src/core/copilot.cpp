@@ -82,6 +82,12 @@ SizingOutcome SizingCopilot::size(const Specs& target,
                                   const CopilotOptions& opt,
                                   PredictionClient& stage2) {
   const auto t0 = std::chrono::steady_clock::now();
+  // One cancellation context for the whole campaign: checked at every stage
+  // boundary below, and handed to each Stage-II submit so a scheduler-backed
+  // decode can retire from its dynamic batch mid-round.  Throwing Cancelled
+  // (rather than returning a partial outcome) keeps the contract simple: a
+  // cancelled campaign has no result, and its owner resolves it exactly once.
+  const CancelSignal cxl{opt.cancel, opt.deadline};
   SizingOutcome out;
   out.target = target;
 
@@ -98,6 +104,9 @@ SizingOutcome SizingCopilot::size(const Specs& target,
   double best_shortfall = 1e300;
 
   for (int it = 0; it < opt.max_iterations; ++it) {
+    // Stage boundary: a cancelled (or deadline-expired) campaign stops
+    // before predicting, not after paying for a decode nobody will read.
+    cxl.check("SizingCopilot::size (Stage II boundary)");
     out.iterations = it + 1;
 
     if (it < opt.prediction_iterations || best_widths.empty()) {
@@ -107,7 +116,9 @@ SizingOutcome SizingCopilot::size(const Specs& target,
       // under a server the submit lands in the shared continuous-batching
       // scheduler where it coalesces with other campaigns' decodes.
       const std::string predicted_text =
-          stage2.submit(builder_.encoder_text(request), opt.max_decode_tokens)
+          stage2
+              .submit(builder_.encoder_text(request), opt.max_decode_tokens,
+                      cxl)
               ->wait();
       out.predicted = builder_.parse_decoder(predicted_text);
       // Stage III: parameters -> widths via the LUTs.
@@ -129,6 +140,9 @@ SizingOutcome SizingCopilot::size(const Specs& target,
       for (double& w : widths) w = std::clamp(w * factor, 0.7e-6, 50e-6);
     }
     out.widths = widths;
+
+    // Stage boundary: last exit before the verification simulation.
+    cxl.check("SizingCopilot::size (Stage IV boundary)");
 
     // Stage IV: one SPICE verification.
     spice::EvalResult r;

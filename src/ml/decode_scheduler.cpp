@@ -12,6 +12,24 @@ namespace ota::ml {
 using nlp::TokenId;
 using nlp::Vocabulary;
 
+namespace {
+
+/// Door policy: a non-positive max_batch admits requests that can never
+/// join a batch and hangs every Ticket::wait() forever — refuse it at
+/// construction (before any thread or pool is spawned), same as the
+/// max_tokens <= 0 check in submit().
+DecodeScheduler::Options validated(DecodeScheduler::Options opt) {
+  if (opt.max_batch < 1) {
+    throw InvalidArgument(
+        "DecodeScheduler: max_batch must be positive, got " +
+        std::to_string(opt.max_batch) +
+        " (a batch that can never admit a request would hang every wait)");
+  }
+  return opt;
+}
+
+}  // namespace
+
 /// One live sequence in the dynamic batch.  Owned by the scheduler thread;
 /// pool workers touch exactly one ActiveRequest per round (caller-indexed),
 /// so requests never share mutable state.
@@ -22,12 +40,32 @@ struct DecodeScheduler::ActiveRequest {
   int64_t steps_done = 0;
   int64_t budget = 0;  ///< min(max_tokens, cfg.max_len), as greedy_decode
   bool finished = false;
+  bool cancelled = false;  ///< finished via cancellation, not tokens/error
 };
 
 const std::vector<TokenId>& DecodeScheduler::Ticket::wait() {
   std::unique_lock<std::mutex> lk(mu);
   cv.wait(lk, [this] { return finished; });
-  if (error) std::rethrow_exception(error);
+  if (error) {
+    // Rethrow a copy constructed on THIS thread, not the stored exception
+    // object itself.  rethrow_exception would hand waiters a reference to
+    // the scheduler thread's object, whose lifetime is then governed by the
+    // libstdc++ exception refcount — synchronization TSan cannot observe
+    // (libstdc++ is uninstrumented), so a handler far up the stack would
+    // appear to race the scheduler's release of its ticket reference.  The
+    // copy happens while this thread still holds the ticket alive, so every
+    // access is ordered through the instrumented shared_ptr refcount.
+    try {
+      std::rethrow_exception(error);
+    } catch (const Cancelled& e) {
+      throw Cancelled(e.what());
+    } catch (const InvalidArgument& e) {
+      throw InvalidArgument(e.what());
+    } catch (const Error& e) {
+      throw Error(e.what());
+    }
+    // Non-ota exceptions (none today) propagate from the rethrow as-is.
+  }
   return tokens;
 }
 
@@ -36,15 +74,29 @@ bool DecodeScheduler::Ticket::done() const {
   return finished;
 }
 
+void DecodeScheduler::Ticket::cancel() {
+  cancel_flag.store(true, std::memory_order_release);
+}
+
+bool DecodeScheduler::Ticket::cancel_requested() const {
+  return cancel_flag.load(std::memory_order_acquire) ||
+         (sub.cancel && sub.cancel->load(std::memory_order_acquire));
+}
+
+bool DecodeScheduler::Ticket::expired(
+    std::chrono::steady_clock::time_point now) const {
+  return sub.deadline != std::chrono::steady_clock::time_point::max() &&
+         now >= sub.deadline;
+}
+
 DecodeScheduler::DecodeScheduler(const InferenceEngine& engine)
     : DecodeScheduler(engine, Options()) {}
 
 DecodeScheduler::DecodeScheduler(const InferenceEngine& engine, Options opt)
-    : engine_(engine), opt_(opt),
+    : engine_(engine), opt_(validated(opt)),
       own_pool_(opt.threads > 0 ? std::make_unique<par::ThreadPool>(opt.threads)
                                 : nullptr),
       pool_(own_pool_ ? *own_pool_ : par::global_pool()) {
-  if (opt_.max_batch < 1) opt_.max_batch = 1;
   thread_ = std::thread([this] { loop(); });
 }
 
@@ -52,6 +104,11 @@ DecodeScheduler::~DecodeScheduler() { shutdown(/*drain=*/true); }
 
 std::shared_ptr<DecodeScheduler::Ticket> DecodeScheduler::submit(
     std::vector<TokenId> src, int64_t max_tokens) {
+  return submit(std::move(src), max_tokens, SubmitOptions{});
+}
+
+std::shared_ptr<DecodeScheduler::Ticket> DecodeScheduler::submit(
+    std::vector<TokenId> src, int64_t max_tokens, SubmitOptions sub) {
   if (max_tokens <= 0) {
     throw InvalidArgument(
         "DecodeScheduler::submit: max_tokens must be positive, got " +
@@ -61,6 +118,7 @@ std::shared_ptr<DecodeScheduler::Ticket> DecodeScheduler::submit(
   auto ticket = std::make_shared<Ticket>();
   ticket->src = std::move(src);
   ticket->max_tokens = max_tokens;
+  ticket->sub = std::move(sub);
   {
     std::lock_guard<std::mutex> lk(mu_);
     if (stop_) {
@@ -128,6 +186,24 @@ void DecodeScheduler::loop() {
       } else if (stop_ && pending_.empty() && active.empty()) {
         break;  // drained
       } else {
+        // Cancellation sweep over the wait queue: a cancelled or expired
+        // request resolves right here and never occupies a batch slot it
+        // could not use.
+        const auto now = std::chrono::steady_clock::now();
+        for (auto it = pending_.begin(); it != pending_.end();) {
+          if ((*it)->cancel_requested() || (*it)->expired(now)) {
+            (*it)->error = std::make_exception_ptr(Cancelled(
+                (*it)->cancel_requested()
+                    ? "DecodeScheduler: request cancelled before decoding"
+                    : "DecodeScheduler: request deadline exceeded before "
+                      "decoding"));
+            ++stats_.cancelled;
+            publish(*it);
+            it = pending_.erase(it);
+          } else {
+            ++it;
+          }
+        }
         // Continuous admission: arrivals join the running batch up to
         // max_batch; the rest queue until sequences retire.
         while (!pending_.empty() &&
@@ -152,10 +228,25 @@ void DecodeScheduler::loop() {
 
     // Session construction (the encode pass) runs outside the queue lock so
     // submitters are never blocked behind it.  A request the engine refuses
-    // (empty input, over-long input) fails its ticket here.
+    // (empty input, over-long input) fails its ticket here; one cancelled
+    // between the sweep above and now resolves without paying the encode.
     for (auto& t : admitted) {
       ActiveRequest a;
       a.ticket = std::move(t);
+      if (a.ticket->cancel_requested() ||
+          a.ticket->expired(std::chrono::steady_clock::now())) {
+        a.ticket->error = std::make_exception_ptr(Cancelled(
+            a.ticket->cancel_requested()
+                ? "DecodeScheduler: request cancelled before decoding"
+                : "DecodeScheduler: request deadline exceeded before "
+                  "decoding"));
+        {
+          std::lock_guard<std::mutex> lk(mu_);
+          ++stats_.cancelled;
+        }
+        publish(a.ticket);
+        continue;
+      }
       try {
         a.session =
             std::make_unique<InferenceEngine::Session>(engine_, a.ticket->src);
@@ -172,14 +263,33 @@ void DecodeScheduler::loop() {
     admitted.clear();
     if (active.empty()) continue;
 
+    // Mid-flight cancellation: a live sequence whose ticket was cancelled
+    // (or whose deadline passed) retires from the dynamic batch before this
+    // round steps — its slot frees for the next admission and its waiters
+    // wake with Cancelled instead of paying for tokens nobody wants.
+    const auto round_now = std::chrono::steady_clock::now();
+    size_t retired_by_cancel = 0;
+    for (ActiveRequest& a : active) {
+      if (a.ticket->cancel_requested() || a.ticket->expired(round_now)) {
+        a.ticket->error = std::make_exception_ptr(Cancelled(
+            a.ticket->cancel_requested()
+                ? "DecodeScheduler: request cancelled mid-decode"
+                : "DecodeScheduler: request deadline exceeded mid-decode"));
+        a.finished = true;
+        a.cancelled = true;
+        ++retired_by_cancel;
+      }
+    }
+    const size_t batch = active.size() - retired_by_cancel;
+
     // One continuous-batching round: every live session advances one token,
     // fanned out across the pool.  Each worker touches only its own
     // caller-indexed requests, so the per-request token stream is exactly
     // greedy_decode's whatever the interleaving.
-    const size_t batch = active.size();
-    pool_.parallel_for(batch, [&](size_t begin, size_t end) {
+    pool_.parallel_for(active.size(), [&](size_t begin, size_t end) {
       for (size_t i = begin; i < end; ++i) {
         ActiveRequest& a = active[i];
+        if (a.finished) continue;  // cancelled above: do not step it
         try {
           const TokenId best = argmax_token(a.session->step(a.prev));
           ++a.steps_done;
@@ -201,17 +311,28 @@ void DecodeScheduler::loop() {
 
     // Count the round before publishing any ticket: once a waiter's wait()
     // returns, stats() must already include that request.
-    uint64_t served = 0, failed = 0;
+    uint64_t served = 0, failed = 0, cancelled = 0;
     for (const auto& a : active) {
-      if (a.finished) (a.ticket->error ? failed : served) += 1;
+      if (!a.finished) continue;
+      if (a.cancelled) {
+        ++cancelled;
+      } else {
+        (a.ticket->error ? failed : served) += 1;
+      }
     }
     {
       std::lock_guard<std::mutex> lk(mu_);
-      ++stats_.rounds;
-      stats_.session_steps += batch;
-      stats_.peak_batch = std::max<uint64_t>(stats_.peak_batch, batch);
+      if (batch > 0) {
+        // A round is only a round if at least one session stepped; a sweep
+        // that merely retired cancelled sequences must not dilute the
+        // occupancy figure of merit.
+        ++stats_.rounds;
+        stats_.session_steps += batch;
+        stats_.peak_batch = std::max<uint64_t>(stats_.peak_batch, batch);
+      }
       stats_.served += served;
       stats_.failed += failed;
+      stats_.cancelled += cancelled;
     }
 
     // Retire finished sequences immediately — their slots free up for the

@@ -22,6 +22,8 @@
 // independent of WHEN the scheduler interleaves it.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -39,12 +41,28 @@ class DecodeScheduler {
  public:
   struct Options {
     /// Cap on concurrently-decoding sessions.  Arrivals beyond it queue and
-    /// join the batch as earlier sequences retire.
+    /// join the batch as earlier sequences retire.  Must be positive: a
+    /// batch that can never admit a request would hang every Ticket::wait()
+    /// forever, so the constructor throws InvalidArgument instead.
     int max_batch = 64;
     /// Intra-round fan-out: sessions step in parallel on this many workers.
     /// 0 (default) = the persistent process-wide pool; > 0 = a dedicated
     /// pool of that size owned by the scheduler.
     int threads = 0;
+  };
+
+  /// Per-request cancellation context for submit().  Both members are
+  /// optional; the scheduler checks them once per round, so a live sequence
+  /// retires from the dynamic batch mid-flight (its slot frees for the next
+  /// admission) rather than decoding to completion.
+  struct SubmitOptions {
+    /// External cooperative cancel flag (e.g. a campaign's): when it reads
+    /// true the request resolves with ota::Cancelled.
+    std::shared_ptr<const std::atomic<bool>> cancel{};
+    /// Absolute steady-clock deadline: past it the request resolves with
+    /// ota::Cancelled without decoding further.  max() = no deadline.
+    std::chrono::steady_clock::time_point deadline =
+        std::chrono::steady_clock::time_point::max();
   };
 
   /// One-shot handle for a submitted request.  Created by submit(); waiters
@@ -53,15 +71,31 @@ class DecodeScheduler {
    public:
     /// Blocks until the request finishes and returns its decoded tokens.
     /// Rethrows the request's error instead (bad input at admission,
-    /// common::Cancelled on a drainless shutdown).  Idempotent: repeated
-    /// calls return (or rethrow) the same outcome.
+    /// common::Cancelled when cancelled, expired, or shut down drainless).
+    /// Idempotent: repeated calls return (or rethrow) the same outcome.
     const std::vector<nlp::TokenId>& wait();
 
     /// True once the outcome (tokens or error) is published.
     bool done() const;
 
+    /// Requests cooperative cancellation from any thread: the scheduler
+    /// retires the request at its next round (queued requests never join a
+    /// batch, live sequences leave the dynamic batch mid-flight) and wait()
+    /// rethrows ota::Cancelled.  Idempotent; a no-op once the ticket has
+    /// already resolved — the resolve-exactly-once contract holds either
+    /// way (a cancel can lose the race with completion).
+    void cancel();
+
+    /// True when cancellation was requested via cancel() or the external
+    /// SubmitOptions flag (regardless of whether the ticket resolved yet).
+    bool cancel_requested() const;
+
    private:
     friend class DecodeScheduler;
+    /// Deadline check, against a caller-supplied "now" so one clock read
+    /// covers a whole scheduler round.
+    bool expired(std::chrono::steady_clock::time_point now) const;
+
     mutable std::mutex mu;
     std::condition_variable cv;
     bool finished = false;
@@ -70,12 +104,15 @@ class DecodeScheduler {
     std::exception_ptr error;
     std::vector<nlp::TokenId> src;
     int64_t max_tokens = 0;
+    std::atomic<bool> cancel_flag{false};  ///< set by cancel()
+    SubmitOptions sub;                     ///< external flag + deadline
   };
 
   /// Spawns the scheduler thread.  `engine` must outlive the scheduler.
-  /// (Two overloads rather than a defaulted Options argument: a nested
-  /// struct with member initializers cannot default-construct inside its
-  /// own enclosing class definition.)
+  /// Throws InvalidArgument for opt.max_batch < 1 — before any thread is
+  /// spawned.  (Two overloads rather than a defaulted Options argument: a
+  /// nested struct with member initializers cannot default-construct inside
+  /// its own enclosing class definition.)
   explicit DecodeScheduler(const InferenceEngine& engine);
   DecodeScheduler(const InferenceEngine& engine, Options opt);
 
@@ -87,8 +124,14 @@ class DecodeScheduler {
   /// Enqueues one decode request; returns immediately.  Throws
   /// InvalidArgument for max_tokens <= 0 or after shutdown() — a request
   /// that could never be served is refused at the door, not queued.
+  /// The second overload attaches a cancellation context: the request
+  /// resolves with ota::Cancelled as soon as the scheduler observes the
+  /// flag set or the deadline passed (at round granularity), whether it is
+  /// still queued or already decoding in the dynamic batch.
   std::shared_ptr<Ticket> submit(std::vector<nlp::TokenId> src,
                                  int64_t max_tokens);
+  std::shared_ptr<Ticket> submit(std::vector<nlp::TokenId> src,
+                                 int64_t max_tokens, SubmitOptions sub);
 
   /// Stops accepting submissions and joins the scheduler thread.
   /// drain=true serves every outstanding request first; drain=false answers

@@ -15,13 +15,33 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
+std::chrono::steady_clock::time_point deadline_after(
+    std::chrono::steady_clock::time_point t0, double seconds) {
+  return t0 + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double>(seconds));
+}
+
+/// The job's effective absolute deadline: the earlier of the caller's
+/// CopilotOptions::deadline and submit-relative deadline_seconds.
+std::chrono::steady_clock::time_point effective_deadline(
+    const CampaignRequest& request,
+    std::chrono::steady_clock::time_point submitted_at) {
+  auto deadline = request.options.deadline;
+  if (request.deadline_seconds > 0.0) {
+    deadline =
+        std::min(deadline, deadline_after(submitted_at, request.deadline_seconds));
+  }
+  return deadline;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
 // ScheduledPredictionClient
 
 std::unique_ptr<core::PredictionClient::Handle> ScheduledPredictionClient::submit(
-    const std::string& encoder_text, int max_tokens) {
+    const std::string& encoder_text, int max_tokens,
+    const core::CancelSignal& cancel) {
   class TicketHandle : public Handle {
    public:
     TicketHandle(const core::SizingModel& model,
@@ -29,8 +49,9 @@ std::unique_ptr<core::PredictionClient::Handle> ScheduledPredictionClient::submi
         : model_(model), ticket_(std::move(ticket)) {}
 
     std::string wait() override {
-      // Ticket::wait rethrows the request's error (e.g. Cancelled on a
-      // drainless shutdown); the campaign worker surfaces it as Failed.
+      // Ticket::wait rethrows the request's error (ota::Cancelled when the
+      // campaign was cancelled, its deadline passed, or the scheduler shut
+      // down drainless); the campaign worker surfaces it as Cancelled.
       return model_.tokenizer().decode(ticket_->wait());
     }
 
@@ -39,11 +60,18 @@ std::unique_ptr<core::PredictionClient::Handle> ScheduledPredictionClient::submi
     std::shared_ptr<ml::DecodeScheduler::Ticket> ticket_;
   };
 
+  // The campaign's cancel flag and deadline ride into the scheduler, so a
+  // cancelled campaign's live decode retires from the dynamic batch at the
+  // next round instead of decoding to completion.
+  ml::DecodeScheduler::SubmitOptions sub;
+  sub.cancel = cancel.flag;
+  sub.deadline = cancel.deadline;
   // Same tokenizer both ways as the serial path's predict_batch, so the
   // round-tripped text is bit-identical to the reference client's.
   return std::make_unique<TicketHandle>(
       model_, scheduler_.submit(model_.tokenizer().encode(encoder_text),
-                                static_cast<int64_t>(max_tokens)));
+                                static_cast<int64_t>(max_tokens),
+                                std::move(sub)));
 }
 
 // ---------------------------------------------------------------------------
@@ -58,6 +86,24 @@ const CampaignResult& CampaignServer::Job::wait() {
 bool CampaignServer::Job::done() const {
   std::lock_guard<std::mutex> lk(mu);
   return finished;
+}
+
+void CampaignServer::Job::cancel() {
+  // Set the cooperative flag first: an in-flight campaign observes it at
+  // its next stage boundary and its live decode ticket at the next
+  // scheduler round.
+  cancel_flag->store(true, std::memory_order_release);
+  std::lock_guard<std::mutex> lk(mu);
+  if (finished || started) return;  // resolved, or a worker owns it now
+  // Still queued: resolve right here so waiters wake immediately.  The
+  // worker that eventually pops the job sees `finished` and only accounts
+  // it — the resolves-exactly-once contract is the job mutex hand-off.
+  result.status = CampaignStatus::Cancelled;
+  result.error = "campaign cancelled by caller";
+  result.queue_seconds = seconds_since(submitted_at);
+  result.total_seconds = result.queue_seconds;
+  finished = true;
+  cv.notify_all();
 }
 
 void CampaignServer::publish(const std::shared_ptr<Job>& job) {
@@ -76,6 +122,19 @@ void CampaignServer::publish(const std::shared_ptr<Job>& job) {
 CampaignServer::CampaignServer() : CampaignServer(Options()) {}
 
 CampaignServer::CampaignServer(Options opt) : opt_(opt) {
+  // Door policy, same as the scheduler's: options that could only ever hang
+  // or corrupt accounting are refused before any thread is spawned.
+  if (opt_.max_decode_batch < 1) {
+    throw InvalidArgument(
+        "CampaignServer: max_decode_batch must be positive, got " +
+        std::to_string(opt_.max_decode_batch) +
+        " (requests could never join a decode batch and would hang)");
+  }
+  if (opt_.max_queue_depth < 0) {
+    throw InvalidArgument(
+        "CampaignServer: max_queue_depth must be >= 0 (0 = unbounded), got " +
+        std::to_string(opt_.max_queue_depth));
+  }
   const int n = par::resolve_threads(opt_.workers);
   workers_.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
@@ -97,32 +156,49 @@ void CampaignServer::register_topology(
   // otherwise) and is what the decode scheduler batches on.
   const ml::InferenceEngine& engine = model->engine();
 
+  // Door policy before construction: reserve the name under the lock so a
+  // duplicate-name or post-shutdown registration throws without ever paying
+  // the scheduler thread spawn+join — and two racing registrations of the
+  // same name cannot both construct.
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stop_) {
+      throw InvalidArgument(
+          "CampaignServer::register_topology: server is shut down");
+    }
+    if (!topologies_.emplace(name, nullptr).second) {
+      throw InvalidArgument("CampaignServer::register_topology: duplicate '" +
+                            name + "'");
+    }
+  }
+
   auto entry = std::make_unique<TopologyEntry>();
-  entry->topology = std::move(topology);
-  entry->tech = tech;
-  entry->model = std::move(model);
-  entry->luts = std::move(luts);
-  // The builder references the entry's own copies; the entry is heap-owned
-  // and never removed from the map, so the references stay valid for the
-  // server's lifetime.
-  entry->builder =
-      std::make_unique<core::SequenceBuilder>(entry->topology, entry->tech);
-  ml::DecodeScheduler::Options sopt;
-  sopt.max_batch = opt_.max_decode_batch;
-  sopt.threads = opt_.scheduler_threads;
-  entry->scheduler = std::make_unique<ml::DecodeScheduler>(engine, sopt);
-  entry->client =
-      std::make_unique<ScheduledPredictionClient>(*entry->model, *entry->scheduler);
+  try {
+    entry->topology = std::move(topology);
+    entry->tech = tech;
+    entry->model = std::move(model);
+    entry->luts = std::move(luts);
+    // The builder references the entry's own copies; the entry is heap-owned
+    // and never removed from the map, so the references stay valid for the
+    // server's lifetime.
+    entry->builder =
+        std::make_unique<core::SequenceBuilder>(entry->topology, entry->tech);
+    ml::DecodeScheduler::Options sopt;
+    sopt.max_batch = opt_.max_decode_batch;
+    sopt.threads = opt_.scheduler_threads;
+    entry->scheduler = std::make_unique<ml::DecodeScheduler>(engine, sopt);
+    entry->client = std::make_unique<ScheduledPredictionClient>(
+        *entry->model, *entry->scheduler);
+  } catch (...) {
+    // Release the reservation: the name was never visible as a valid
+    // topology (submit treats the nullptr slot as unknown).
+    std::lock_guard<std::mutex> lk(mu_);
+    topologies_.erase(name);
+    throw;
+  }
 
   std::lock_guard<std::mutex> lk(mu_);
-  if (stop_) {
-    throw InvalidArgument(
-        "CampaignServer::register_topology: server is shut down");
-  }
-  if (!topologies_.emplace(name, std::move(entry)).second) {
-    throw InvalidArgument("CampaignServer::register_topology: duplicate '" +
-                          name + "'");
-  }
+  topologies_.find(name)->second = std::move(entry);
 }
 
 std::shared_ptr<CampaignServer::Job> CampaignServer::submit(
@@ -131,16 +207,52 @@ std::shared_ptr<CampaignServer::Job> CampaignServer::submit(
   job->request = std::move(request);
   job->submitted_at = std::chrono::steady_clock::now();
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    std::unique_lock<std::mutex> lk(mu_);
     if (stop_) {
       throw InvalidArgument("CampaignServer::submit: server is shut down");
     }
-    if (topologies_.find(job->request.topology) == topologies_.end()) {
+    const auto topo_it = topologies_.find(job->request.topology);
+    if (topo_it == topologies_.end() || !topo_it->second) {
       throw InvalidArgument("CampaignServer::submit: unknown topology '" +
                             job->request.topology + "'");
     }
+    // Admission control: at capacity either refuse the submission outright
+    // or wait for a worker to make room.
+    if (opt_.max_queue_depth > 0 &&
+        queue_.size() >= static_cast<size_t>(opt_.max_queue_depth)) {
+      if (opt_.overflow == OverflowPolicy::Reject) {
+        ++rejected_;
+        throw ServerOverloaded(
+            "CampaignServer::submit: queue full (" +
+            std::to_string(queue_.size()) + "/" +
+            std::to_string(opt_.max_queue_depth) +
+            " jobs) and the overflow policy is Reject");
+      }
+      const auto has_space = [&] {
+        return stop_ ||
+               queue_.size() < static_cast<size_t>(opt_.max_queue_depth);
+      };
+      if (opt_.block_timeout_seconds > 0.0) {
+        const auto give_up = deadline_after(std::chrono::steady_clock::now(),
+                                            opt_.block_timeout_seconds);
+        if (!space_cv_.wait_until(lk, give_up, has_space)) {
+          ++timed_out_;
+          throw ServerOverloaded(
+              "CampaignServer::submit: queue still full after blocking " +
+              std::to_string(opt_.block_timeout_seconds) +
+              "s for space (Block policy timeout)");
+        }
+      } else {
+        space_cv_.wait(lk, has_space);
+      }
+      if (stop_) {
+        throw InvalidArgument("CampaignServer::submit: server is shut down");
+      }
+    }
     queue_.push_back(job);
     ++submitted_;
+    peak_queue_depth_ =
+        std::max<uint64_t>(peak_queue_depth_, queue_.size());
   }
   cv_.notify_one();
   return job;
@@ -159,23 +271,77 @@ void CampaignServer::worker_loop() {
           auto cancelled = queue_.front();
           queue_.pop_front();
           ++cancelled_;
+          const double waited = seconds_since(cancelled->submitted_at);
+          std::lock_guard<std::mutex> jk(cancelled->mu);
+          if (cancelled->finished) continue;  // Job::cancel() got there first
           cancelled->result.status = CampaignStatus::Cancelled;
           cancelled->result.error = "campaign cancelled by shutdown";
-          cancelled->result.total_seconds = seconds_since(cancelled->submitted_at);
-          publish(cancelled);
+          // The job's whole life was spent in queue, so the queue time IS
+          // the total time.
+          cancelled->result.queue_seconds = waited;
+          cancelled->result.total_seconds = waited;
+          cancelled->finished = true;
+          cancelled->cv.notify_all();
         }
+        space_cv_.notify_all();
         return;
       }
       if (queue_.empty()) return;  // stop_ && drain_: queue fully served
       job = queue_.front();
       queue_.pop_front();
-      // submit() validated the name, and entries are never removed, so the
-      // lookup cannot fail; the bare pointer stays valid outside the lock.
+      // submit() validated the name, and filled entries are never removed,
+      // so the lookup cannot fail; the bare pointer stays valid outside the
+      // lock.
       entry = topologies_.find(job->request.topology)->second.get();
+      // The pop made room: wake one blocked Block-policy submitter.
+      space_cv_.notify_all();
+    }
+
+    const double queued = seconds_since(job->submitted_at);
+    // Claim the job.  If Job::cancel() resolved it while queued, only the
+    // accounting is left to do.
+    bool already_resolved = false;
+    {
+      std::lock_guard<std::mutex> jk(job->mu);
+      if (job->finished) {
+        already_resolved = true;
+      } else {
+        job->started = true;
+      }
+    }
+    if (already_resolved) {
+      std::lock_guard<std::mutex> lk(mu_);
+      ++cancelled_;
+      continue;
+    }
+
+    // Deadline check before running: a job that expired waiting in queue
+    // resolves without a single decode or simulation.
+    const auto deadline = effective_deadline(job->request, job->submitted_at);
+    if (std::chrono::steady_clock::now() >= deadline) {
+      CampaignResult res;
+      res.status = CampaignStatus::Cancelled;
+      res.error = "campaign deadline exceeded after " +
+                  std::to_string(queued) + "s in queue";
+      res.queue_seconds = queued;
+      res.total_seconds = seconds_since(job->submitted_at);
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        ++cancelled_;
+        ++expired_;
+      }
+      job->result = std::move(res);
+      publish(job);
+      continue;
     }
 
     CampaignResult res;
-    res.queue_seconds = seconds_since(job->submitted_at);
+    res.queue_seconds = queued;
+    // The job's cancel flag and effective deadline ride through the copilot
+    // options into the prediction client and decode scheduler.
+    core::CopilotOptions run_opt = job->request.options;
+    run_opt.cancel = job->cancel_flag;
+    run_opt.deadline = deadline;
     try {
       // A fresh copilot per campaign: the copilot itself is cheap (the
       // expensive state — model, engine, LUTs, builder — is shared through
@@ -183,9 +349,11 @@ void CampaignServer::worker_loop() {
       // independent of which worker runs it.
       core::SizingCopilot copilot(entry->topology, entry->tech, *entry->builder,
                                   *entry->model, *entry->luts);
-      res.outcome =
-          copilot.size(job->request.target, job->request.options, *entry->client);
+      res.outcome = copilot.size(job->request.target, run_opt, *entry->client);
       res.status = CampaignStatus::Served;
+    } catch (const Cancelled& e) {
+      res.status = CampaignStatus::Cancelled;
+      res.error = e.what();
     } catch (const std::exception& e) {
       res.status = CampaignStatus::Failed;
       res.error = e.what();
@@ -194,10 +362,10 @@ void CampaignServer::worker_loop() {
 
     {
       std::lock_guard<std::mutex> lk(mu_);
-      if (res.status == CampaignStatus::Served) {
-        ++served_;
-      } else {
-        ++failed_;
+      switch (res.status) {
+        case CampaignStatus::Served: ++served_; break;
+        case CampaignStatus::Failed: ++failed_; break;
+        case CampaignStatus::Cancelled: ++cancelled_; break;
       }
     }
     job->result = std::move(res);
@@ -214,6 +382,9 @@ void CampaignServer::shutdown(bool drain) {
     }
   }
   cv_.notify_all();
+  // Blocked Block-policy submitters abort with "server is shut down"
+  // instead of waiting on space that may never come.
+  space_cv_.notify_all();
   std::lock_guard<std::mutex> jk(join_mu_);
   for (std::thread& w : workers_) {
     if (w.joinable()) w.join();
@@ -227,7 +398,13 @@ CampaignServer::Stats CampaignServer::stats() const {
   s.served = served_;
   s.failed = failed_;
   s.cancelled = cancelled_;
+  s.rejected = rejected_;
+  s.timed_out = timed_out_;
+  s.expired = expired_;
+  s.queue_depth = queue_.size();
+  s.peak_queue_depth = peak_queue_depth_;
   for (const auto& [name, entry] : topologies_) {
+    if (!entry) continue;  // a registration reserving the name right now
     const auto d = entry->scheduler->stats();
     s.decode.submitted += d.submitted;
     s.decode.served += d.served;

@@ -22,8 +22,19 @@
 // Queue contract: every submitted job resolves exactly once.  shutdown(true)
 // serves everything outstanding first; shutdown(false) answers unstarted
 // jobs with CampaignStatus::Cancelled.  Nothing is lost, nothing runs twice.
+//
+// Overload contract: the job queue is bounded by Options::max_queue_depth
+// (0 = unbounded).  At capacity, submit() either throws ota::ServerOverloaded
+// (Reject) or waits for a worker to make room (Block, with an optional
+// timeout that also throws ServerOverloaded) — a burst of submissions can
+// never grow memory or tail latency without bound.  Job::cancel() and
+// CampaignRequest::deadline_seconds resolve jobs that nobody wants served:
+// queued jobs resolve as Cancelled without running, in-flight campaigns stop
+// at the next copilot stage boundary, and their live decode tickets retire
+// from the dynamic batch mid-round.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -52,8 +63,10 @@ class ScheduledPredictionClient : public core::PredictionClient {
                             ml::DecodeScheduler& scheduler)
       : model_(model), scheduler_(scheduler) {}
 
+  using core::PredictionClient::submit;
   std::unique_ptr<Handle> submit(const std::string& encoder_text,
-                                 int max_tokens) override;
+                                 int max_tokens,
+                                 const core::CancelSignal& cancel) override;
 
  private:
   const core::SizingModel& model_;
@@ -64,13 +77,27 @@ class ScheduledPredictionClient : public core::PredictionClient {
 struct CampaignRequest {
   std::string topology;
   core::Specs target;
+  /// Copilot knobs.  `options.cancel` is owned by the server (use
+  /// Job::cancel()); `options.deadline` is honored and combined (earliest
+  /// wins) with `deadline_seconds` below.
   core::CopilotOptions options{};
+  /// Per-request deadline, in seconds after submit().  A job whose deadline
+  /// passes while still queued resolves as Cancelled without running; one
+  /// that expires in flight stops through the cancel path (copilot stage
+  /// boundaries + mid-round decode retirement).  <= 0 = no deadline.
+  double deadline_seconds = 0.0;
 };
 
 enum class CampaignStatus {
   Served,     ///< the copilot ran; `outcome` is valid (inspect its .success)
   Failed,     ///< the campaign threw; `error` carries the message
-  Cancelled,  ///< discarded unstarted by shutdown(false)
+  Cancelled,  ///< cancelled by Job::cancel(), shutdown(false), or a deadline
+};
+
+/// What submit() does when the job queue is at Options::max_queue_depth.
+enum class OverflowPolicy {
+  Reject,  ///< throw ota::ServerOverloaded immediately
+  Block,   ///< wait for space (bounded by Options::block_timeout_seconds)
 };
 
 struct CampaignResult {
@@ -94,9 +121,21 @@ class CampaignServer {
     /// Worker count for each scheduler's intra-round fan-out: 0 = the
     /// persistent process-wide pool, > 0 = a dedicated pool per topology.
     int scheduler_threads = 0;
+    /// Admission control: maximum campaigns waiting in the queue (jobs a
+    /// worker has picked up no longer count).  0 = unbounded, the
+    /// pre-admission-control behaviour.  Negative throws InvalidArgument.
+    int max_queue_depth = 0;
+    /// What submit() does when the queue is at max_queue_depth.
+    OverflowPolicy overflow = OverflowPolicy::Reject;
+    /// Block policy only: longest submit() waits for queue space before
+    /// throwing ota::ServerOverloaded.  <= 0 = wait indefinitely.
+    double block_timeout_seconds = 0.0;
   };
 
   CampaignServer();
+  /// Throws InvalidArgument for max_decode_batch < 1 (requests could never
+  /// join a decode batch and would hang) or max_queue_depth < 0 — before
+  /// any worker thread is spawned.
   explicit CampaignServer(Options opt);
   /// shutdown(true): outstanding campaigns finish before teardown.
   ~CampaignServer();
@@ -122,18 +161,37 @@ class CampaignServer {
     const CampaignResult& wait();
     bool done() const;
 
+    /// Requests cancellation from any thread.  A job still in the queue
+    /// resolves as Cancelled right here — waiters wake immediately and a
+    /// worker never runs it.  A job already running keeps its worker, but
+    /// the copilot observes the flag at its next stage boundary and any
+    /// in-flight decode retires from the dynamic batch mid-round, so the
+    /// job resolves as Cancelled shortly after (or as Served if completion
+    /// won the race).  Idempotent; the resolves-exactly-once contract holds
+    /// either way.
+    void cancel();
+
    private:
     friend class CampaignServer;
     mutable std::mutex mu;
     std::condition_variable cv;
     bool finished = false;
+    bool started = false;  ///< picked up by a worker; cancel() can no
+                           ///< longer resolve it directly
     CampaignResult result;
     CampaignRequest request;
     std::chrono::steady_clock::time_point submitted_at;
+    /// Cooperative cancel flag threaded through CopilotOptions into the
+    /// prediction client and decode scheduler.
+    std::shared_ptr<std::atomic<bool>> cancel_flag =
+        std::make_shared<std::atomic<bool>>(false);
   };
 
-  /// Enqueues one campaign; returns immediately.  Throws InvalidArgument
-  /// for an unregistered topology or after shutdown().
+  /// Enqueues one campaign; returns immediately unless the queue is full
+  /// under the Block policy.  Throws InvalidArgument for an unregistered
+  /// topology or after shutdown(), and ota::ServerOverloaded when the queue
+  /// is at max_queue_depth under the Reject policy (or the Block policy's
+  /// timeout elapses waiting for space).
   std::shared_ptr<Job> submit(CampaignRequest request);
 
   /// Stops accepting submissions and joins the workers.  drain=true serves
@@ -143,10 +201,24 @@ class CampaignServer {
   void shutdown(bool drain = true);
 
   struct Stats {
+    /// Jobs admitted to the queue.  Refused submissions (rejected /
+    /// timed_out) are NOT counted here, so once everything resolves
+    /// submitted == served + failed + cancelled.
     uint64_t submitted = 0;
     uint64_t served = 0;
     uint64_t failed = 0;
+    /// Jobs resolved as Cancelled: Job::cancel(), drainless shutdown, or a
+    /// deadline (in queue or in flight).
     uint64_t cancelled = 0;
+    /// Admission control: submissions refused by the Reject policy.
+    uint64_t rejected = 0;
+    /// Admission control: Block-policy submissions that hit the timeout.
+    uint64_t timed_out = 0;
+    /// Jobs whose deadline passed before a worker ran them (a subset of
+    /// `cancelled`; in-flight expiry counts only in `cancelled`).
+    uint64_t expired = 0;
+    uint64_t queue_depth = 0;       ///< jobs waiting right now
+    uint64_t peak_queue_depth = 0;  ///< deepest the queue has ever been
     /// Decode-scheduler counters summed over every registered topology;
     /// decode.mean_batch_occupancy() > 1 proves cross-campaign coalescing.
     ml::DecodeScheduler::Stats decode;
@@ -174,12 +246,18 @@ class CampaignServer {
   Options opt_;
 
   mutable std::mutex mu_;  ///< guards queue_, topologies_, stop_/drain_, stats
-  std::condition_variable cv_;
+  std::condition_variable cv_;        ///< wakes workers (new job / shutdown)
+  std::condition_variable space_cv_;  ///< wakes Block-policy submitters
   std::deque<std::shared_ptr<Job>> queue_;
+  /// A nullptr value is a name reservation: register_topology claims the
+  /// name under mu_ before paying the entry construction (scheduler thread
+  /// spawn), then fills the slot.  submit() treats a reservation as an
+  /// unknown topology; filled entries are never removed or replaced.
   std::map<std::string, std::unique_ptr<TopologyEntry>> topologies_;
   bool stop_ = false;
   bool drain_ = true;
   uint64_t submitted_ = 0, served_ = 0, failed_ = 0, cancelled_ = 0;
+  uint64_t rejected_ = 0, timed_out_ = 0, expired_ = 0, peak_queue_depth_ = 0;
 
   std::mutex join_mu_;  ///< serializes shutdown()'s join
   std::vector<std::thread> workers_;

@@ -9,12 +9,23 @@
 // TSan preset (which selects tests by name regex) races them with
 // OTA_THREADS=8.  Queue semantics are covered too: drain serves everything,
 // drainless cancellation answers everything, and nothing resolves twice.
+//
+// The admission-control and cancellation contracts extend that: a full queue
+// rejects or blocks per OverflowPolicy (never exceeding max_queue_depth), a
+// cancelled or deadline-expired job resolves exactly once as Cancelled
+// (immediately when still queued, at the next stage boundary / decode round
+// when in flight), and every campaign that survives cancellation must still
+// be bit-identical to the serial copilot.  Timing-dependent cases are
+// asserted race-tolerantly: a cancel may lose the race with completion, but
+// the exactly-once accounting and bit-identity must hold either way.
 #include "serve/campaign_server.hpp"
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <memory>
 #include <numeric>
 #include <random>
 #include <thread>
@@ -84,6 +95,25 @@ class DeterminismTest : public ::testing::Test {
 
   static std::vector<core::Specs> campaign_targets(int n) {
     return core::targets_from_designs(dataset_->designs, n, 0.06, 17);
+  }
+
+  /// The bit-identity reference: the serial copilot, one campaign at a time.
+  static std::vector<core::SizingOutcome> serial_outcomes(
+      const std::vector<core::Specs>& targets, const core::CopilotOptions& opt) {
+    core::SizingCopilot copilot(*topo_, *tech_, *builder_, model(), *luts_);
+    std::vector<core::SizingOutcome> out;
+    out.reserve(targets.size());
+    for (const auto& t : targets) out.push_back(copilot.size(t, opt));
+    return out;
+  }
+
+  /// Spins until every queued job has been picked up by a worker — the
+  /// hand-off that makes "the worker is now busy running something" a fact
+  /// rather than a guess in the admission-control tests.
+  static void wait_for_pickup(const CampaignServer& server) {
+    while (server.stats().queue_depth != 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
   }
 
   static device::Technology* tech_;
@@ -306,7 +336,13 @@ TEST_F(DeterminismTest, CampaignServerDrainlessShutdownAnswersEveryJob) {
     switch (res.status) {
       case CampaignStatus::Served: ++served; break;
       case CampaignStatus::Failed: ++failed; break;
-      case CampaignStatus::Cancelled: ++cancelled; break;
+      case CampaignStatus::Cancelled:
+        ++cancelled;
+        // A job cancelled by shutdown spent its whole life in queue: the
+        // queue time must equal the total time, not read 0.
+        EXPECT_GT(res.queue_seconds, 0.0);
+        EXPECT_EQ(res.queue_seconds, res.total_seconds);
+        break;
     }
   }
   EXPECT_EQ(served + cancelled + failed, jobs.size());
@@ -315,6 +351,330 @@ TEST_F(DeterminismTest, CampaignServerDrainlessShutdownAnswersEveryJob) {
   EXPECT_EQ(stats.served, served);
   EXPECT_EQ(stats.failed, failed);
   EXPECT_EQ(stats.cancelled, cancelled);
+}
+
+// ---------------------------------------------------------------------------
+// Admission control and cancellation
+
+TEST_F(DeterminismTest, SchedulerRejectsNonPositiveMaxBatch) {
+  ml::DecodeScheduler::Options opt;
+  opt.max_batch = 0;
+  EXPECT_THROW({ ml::DecodeScheduler s(model().engine(), opt); }, InvalidArgument);
+  opt.max_batch = -4;
+  EXPECT_THROW({ ml::DecodeScheduler s(model().engine(), opt); }, InvalidArgument);
+}
+
+TEST_F(DeterminismTest, SchedulerPresetCancelAndPastDeadlineResolveCancelled) {
+  // Deterministic cancellation cases: a request submitted with its external
+  // flag already set, or its deadline already past, must resolve Cancelled —
+  // no timing involved.  A generous deadline must not interfere.
+  const ml::InferenceEngine& engine = model().engine();
+  const auto src = model().tokenizer().encode(
+      builder_->encoder_text(campaign_targets(1)[0]));
+  const auto reference = engine.greedy_decode(src, 64);
+  ml::DecodeScheduler scheduler(engine);
+
+  auto set_flag = std::make_shared<std::atomic<bool>>(true);
+  ml::DecodeScheduler::SubmitOptions cancelled_sub;
+  cancelled_sub.cancel = set_flag;
+  auto cancelled_ticket = scheduler.submit(src, 64, cancelled_sub);
+
+  ml::DecodeScheduler::SubmitOptions expired_sub;
+  expired_sub.deadline =
+      std::chrono::steady_clock::now() - std::chrono::seconds(1);
+  auto expired_ticket = scheduler.submit(src, 64, expired_sub);
+
+  ml::DecodeScheduler::SubmitOptions generous_sub;
+  generous_sub.cancel = std::make_shared<std::atomic<bool>>(false);
+  generous_sub.deadline =
+      std::chrono::steady_clock::now() + std::chrono::hours(1);
+  auto generous_ticket = scheduler.submit(src, 64, generous_sub);
+
+  EXPECT_THROW((void)cancelled_ticket->wait(), Cancelled);
+  EXPECT_THROW((void)expired_ticket->wait(), Cancelled);
+  EXPECT_EQ(generous_ticket->wait(), reference);
+
+  const auto stats = scheduler.stats();
+  EXPECT_EQ(stats.submitted, 3u);
+  EXPECT_EQ(stats.served, 1u);
+  EXPECT_EQ(stats.cancelled, 2u);
+  EXPECT_EQ(stats.failed, 0u);
+}
+
+TEST_F(DeterminismTest, SchedulerTicketCancelResolvesExactlyOnce) {
+  // Racy-by-design: cancel tickets while the batch is live.  Whatever the
+  // interleaving, every ticket resolves exactly once — Cancelled, or served
+  // with the exact greedy_decode tokens — and the counters agree.
+  const ml::InferenceEngine& engine = model().engine();
+  const auto targets = campaign_targets(6);
+  std::vector<std::vector<TokenId>> srcs;
+  std::vector<std::vector<TokenId>> reference;
+  for (const auto& t : targets) {
+    srcs.push_back(model().tokenizer().encode(builder_->encoder_text(t)));
+    reference.push_back(engine.greedy_decode(srcs.back(), 96));
+  }
+
+  ml::DecodeScheduler::Options opt;
+  opt.max_batch = 2;  // smaller than the request count: some cancel queued
+  ml::DecodeScheduler scheduler(engine, opt);
+
+  std::vector<std::shared_ptr<ml::DecodeScheduler::Ticket>> tickets;
+  for (const auto& s : srcs) tickets.push_back(scheduler.submit(s, 96));
+  for (size_t i = 1; i < tickets.size(); i += 2) tickets[i]->cancel();
+
+  uint64_t served = 0, cancelled = 0;
+  for (size_t i = 0; i < tickets.size(); ++i) {
+    try {
+      // A cancelled ticket may still serve if decoding won the race — but
+      // then it must be bit-identical; a never-cancelled ticket must serve.
+      EXPECT_EQ(tickets[i]->wait(), reference[i]) << "survivor " << i;
+      ++served;
+    } catch (const Cancelled&) {
+      ++cancelled;
+      EXPECT_TRUE(tickets[i]->cancel_requested());
+      EXPECT_EQ(i % 2, 1u) << "ticket " << i << " cancelled but never asked to";
+    }
+  }
+  EXPECT_EQ(served + cancelled, tickets.size());
+  const auto stats = scheduler.stats();
+  EXPECT_EQ(stats.submitted, tickets.size());
+  EXPECT_EQ(stats.served, served);
+  EXPECT_EQ(stats.cancelled, cancelled);
+  EXPECT_EQ(stats.failed, 0u);
+}
+
+TEST_F(DeterminismTest, CampaignServerRejectsBadOptions) {
+  CampaignServer::Options bad;
+  bad.max_decode_batch = 0;
+  EXPECT_THROW({ CampaignServer s(bad); }, InvalidArgument);
+  bad = CampaignServer::Options{};
+  bad.max_queue_depth = -1;
+  EXPECT_THROW({ CampaignServer s(bad); }, InvalidArgument);
+}
+
+TEST_F(DeterminismTest, CampaignServerCancelWhileQueuedResolvesImmediately) {
+  const auto targets = campaign_targets(4);
+  const auto opt = campaign_options();
+  const auto reference = serial_outcomes(targets, opt);
+
+  CampaignServer::Options sopt;
+  sopt.workers = 1;  // one worker: everything behind the first job queues
+  CampaignServer server(sopt);
+  server.register_topology("5T-OTA", *topo_, *tech_, *model_, luts_);
+
+  auto first = server.submit({"5T-OTA", targets[0], opt});
+  std::vector<std::shared_ptr<CampaignServer::Job>> rest;
+  for (size_t i = 1; i < targets.size(); ++i) {
+    rest.push_back(server.submit({"5T-OTA", targets[i], opt}));
+  }
+  // Cancel everything queued.  With the single worker busy on `first`, the
+  // cancels land on unstarted jobs, which resolve synchronously — but the
+  // assertions below also tolerate the (theoretical) race where a worker
+  // got there first, in which case bit-identity must hold.
+  for (auto& job : rest) job->cancel();
+
+  uint64_t cancelled = 0;
+  for (size_t i = 0; i < rest.size(); ++i) {
+    const CampaignResult& res = rest[i]->wait();
+    if (res.status == CampaignStatus::Cancelled) {
+      ++cancelled;
+      // Never ran: no predictions, no simulations, queue time == total time.
+      EXPECT_EQ(res.outcome.spice_simulations, 0);
+      EXPECT_EQ(res.outcome.iterations, 0);
+      EXPECT_EQ(res.queue_seconds, res.total_seconds);
+    } else {
+      ASSERT_EQ(res.status, CampaignStatus::Served) << res.error;
+      expect_same_outcome(res.outcome, reference[i + 1]);
+    }
+  }
+  EXPECT_GE(cancelled, 1u);
+
+  const CampaignResult& res = first->wait();
+  ASSERT_EQ(res.status, CampaignStatus::Served) << res.error;
+  expect_same_outcome(res.outcome, reference[0]);
+
+  server.shutdown(/*drain=*/true);
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.submitted, targets.size());
+  EXPECT_EQ(stats.served + stats.cancelled + stats.failed, targets.size());
+  EXPECT_EQ(stats.cancelled, cancelled);
+  EXPECT_EQ(stats.failed, 0u);
+}
+
+TEST_F(DeterminismTest, CampaignServerCancelMidFlightResolvesExactlyOnce) {
+  const auto targets = campaign_targets(6);
+  const auto opt = campaign_options();
+  const auto reference = serial_outcomes(targets, opt);
+
+  CampaignServer::Options sopt;
+  sopt.workers = 3;
+  sopt.max_decode_batch = 4;
+  CampaignServer server(sopt);
+  server.register_topology("5T-OTA", *topo_, *tech_, *model_, luts_);
+
+  std::vector<std::shared_ptr<CampaignServer::Job>> jobs;
+  for (const auto& t : targets) jobs.push_back(server.submit({"5T-OTA", t, opt}));
+  // Let campaigns get in flight, then cancel half mid-run: the copilot
+  // observes the flag at a stage boundary or its decode ticket retires from
+  // the dynamic batch mid-round.
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  for (size_t i = 0; i < jobs.size(); i += 2) jobs[i]->cancel();
+
+  uint64_t served = 0, cancelled = 0;
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    const CampaignResult& res = jobs[i]->wait();
+    if (res.status == CampaignStatus::Served) {
+      ++served;
+      expect_same_outcome(res.outcome, reference[i]);
+    } else {
+      ASSERT_EQ(res.status, CampaignStatus::Cancelled) << res.error;
+      ++cancelled;
+      EXPECT_EQ(i % 2, 0u) << "job " << i << " cancelled but never asked to";
+    }
+  }
+  EXPECT_EQ(served + cancelled, jobs.size());
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.submitted, jobs.size());
+  EXPECT_EQ(stats.served, served);
+  EXPECT_EQ(stats.cancelled, cancelled);
+  EXPECT_EQ(stats.failed, 0u);
+}
+
+TEST_F(DeterminismTest, CampaignServerDeadlineExpiresInQueue) {
+  const auto targets = campaign_targets(4);
+  const auto opt = campaign_options();
+
+  CampaignServer::Options sopt;
+  sopt.workers = 1;
+  CampaignServer server(sopt);
+  server.register_topology("5T-OTA", *topo_, *tech_, *model_, luts_);
+
+  // The first job (no deadline) occupies the only worker for a whole
+  // campaign; the tight-deadline jobs behind it expire long before the
+  // worker frees up and must resolve without a single decode or sim.
+  auto first = server.submit({"5T-OTA", targets[0], opt});
+  std::vector<std::shared_ptr<CampaignServer::Job>> doomed;
+  for (size_t i = 1; i < targets.size(); ++i) {
+    CampaignRequest req{"5T-OTA", targets[i], opt};
+    req.deadline_seconds = 5e-4;
+    doomed.push_back(server.submit(std::move(req)));
+  }
+
+  EXPECT_EQ(first->wait().status, CampaignStatus::Served) << first->wait().error;
+  for (const auto& job : doomed) {
+    const CampaignResult& res = job->wait();
+    ASSERT_EQ(res.status, CampaignStatus::Cancelled) << res.error;
+    EXPECT_NE(res.error.find("deadline"), std::string::npos) << res.error;
+    EXPECT_EQ(res.outcome.spice_simulations, 0);
+    EXPECT_GT(res.queue_seconds, 0.0);
+  }
+
+  // A generous deadline must not interfere with being served.
+  CampaignRequest fine{"5T-OTA", targets[1], opt};
+  fine.deadline_seconds = 3600.0;
+  auto served = server.submit(std::move(fine));
+  EXPECT_EQ(served->wait().status, CampaignStatus::Served) << served->wait().error;
+
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.expired, doomed.size());
+  EXPECT_EQ(stats.cancelled, doomed.size());
+  EXPECT_EQ(stats.served, 2u);
+  EXPECT_EQ(stats.failed, 0u);
+}
+
+TEST_F(DeterminismTest, CampaignServerRejectPolicyBoundsQueue) {
+  const auto targets = campaign_targets(4);
+  const auto opt = campaign_options();
+
+  CampaignServer::Options sopt;
+  sopt.workers = 1;
+  sopt.max_queue_depth = 2;  // overflow defaults to Reject
+  CampaignServer server(sopt);
+  server.register_topology("5T-OTA", *topo_, *tech_, *model_, luts_);
+
+  // Occupy the worker, then fill the queue to its cap; the next submission
+  // must bounce with ServerOverloaded instead of growing the queue.
+  auto first = server.submit({"5T-OTA", targets[0], opt});
+  wait_for_pickup(server);
+  auto second = server.submit({"5T-OTA", targets[1], opt});
+  auto third = server.submit({"5T-OTA", targets[2], opt});
+  EXPECT_THROW((void)server.submit({"5T-OTA", targets[3], opt}),
+               ServerOverloaded);
+
+  server.shutdown(/*drain=*/true);
+  for (const auto& job : {first, second, third}) {
+    EXPECT_EQ(job->wait().status, CampaignStatus::Served) << job->wait().error;
+  }
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.submitted, 3u);  // the rejected one was never admitted
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.served, 3u);
+  EXPECT_LE(stats.peak_queue_depth, 2u);
+}
+
+TEST_F(DeterminismTest, CampaignServerBlockPolicyWaitsForSpace) {
+  const auto targets = campaign_targets(3);
+  const auto opt = campaign_options();
+
+  CampaignServer::Options sopt;
+  sopt.workers = 1;
+  sopt.max_queue_depth = 1;
+  sopt.overflow = OverflowPolicy::Block;
+  CampaignServer server(sopt);
+  server.register_topology("5T-OTA", *topo_, *tech_, *model_, luts_);
+
+  auto first = server.submit({"5T-OTA", targets[0], opt});
+  wait_for_pickup(server);
+  auto second = server.submit({"5T-OTA", targets[1], opt});  // queue now full
+  // This submit finds the queue at capacity and blocks until the worker
+  // pops `second`; it must eventually be admitted and served, not rejected.
+  std::shared_ptr<CampaignServer::Job> third;
+  std::thread submitter(
+      [&] { third = server.submit({"5T-OTA", targets[2], opt}); });
+  submitter.join();
+  ASSERT_NE(third, nullptr);
+
+  for (const auto& job : {first, second, third}) {
+    EXPECT_EQ(job->wait().status, CampaignStatus::Served) << job->wait().error;
+  }
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.submitted, 3u);
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_EQ(stats.timed_out, 0u);
+  EXPECT_LE(stats.peak_queue_depth, 1u);
+}
+
+TEST_F(DeterminismTest, CampaignServerBlockTimeoutThrowsServerOverloaded) {
+  const auto targets = campaign_targets(3);
+  // Slow campaigns: the worker must stay busy well past the tiny timeout.
+  core::CopilotOptions slow = campaign_options();
+  slow.max_iterations = 6;
+  slow.max_decode_tokens = 300;
+
+  CampaignServer::Options sopt;
+  sopt.workers = 1;
+  sopt.max_queue_depth = 1;
+  sopt.overflow = OverflowPolicy::Block;
+  sopt.block_timeout_seconds = 2e-3;
+  CampaignServer server(sopt);
+  server.register_topology("5T-OTA", *topo_, *tech_, *model_, luts_);
+
+  auto first = server.submit({"5T-OTA", targets[0], slow});
+  wait_for_pickup(server);
+  auto second = server.submit({"5T-OTA", targets[1], slow});
+  // Space can only appear when `second` is popped — after the whole first
+  // campaign finishes, orders of magnitude later than the 2ms timeout.
+  EXPECT_THROW((void)server.submit({"5T-OTA", targets[2], slow}),
+               ServerOverloaded);
+
+  server.shutdown(/*drain=*/true);
+  EXPECT_EQ(first->wait().status, CampaignStatus::Served) << first->wait().error;
+  EXPECT_EQ(second->wait().status, CampaignStatus::Served)
+      << second->wait().error;
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.timed_out, 1u);
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_EQ(stats.submitted, 2u);
 }
 
 TEST_F(DeterminismTest, CampaignServerDrainServesWholeQueue) {
