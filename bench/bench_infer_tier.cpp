@@ -1,0 +1,211 @@
+// Inference precision tiers: double reference vs the float32 SIMD tier.
+//
+// Trains one deterministic 5T-OTA sizing model, then decodes the same probe
+// batch through both of the engine's numeric tiers and reports tokens/sec
+// for each.  The float32 tier exists to halve decode memory traffic (same
+// fused weight layout, half the bytes per element, SIMD row kernels); this
+// bench is its gatekeeper:
+//
+//  * agreement (always, incl. smoke) — the float32 tier's token streams
+//    must be IDENTICAL, token for token, to the double tier's on the
+//    trained model.  Any divergence is a hard failure: the fast tier is
+//    only allowed to exist while it is observationally equivalent.
+//  * determinism (always, incl. smoke) — each tier decoded twice must be
+//    bit-identical run to run.
+//  * speedup (not in smoke) — the float32 tier must clear 1.3x the double
+//    tier's tokens/sec on this host.  Smoke mode (OTA_INFER_TIER_SMOKE=1,
+//    the Release CI job) still measures and reports the ratio but only
+//    gates agreement/determinism: a tiny smoke model fits whole in cache,
+//    so the memory-traffic half of the win is not representative there.
+//
+// Results are written as JSON (path from OTA_BENCH_JSON, default
+// BENCH_infer.json) for scripts/bench_snapshot.sh.
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common.hpp"
+#include "core/dataset.hpp"
+#include "ml/infer.hpp"
+#include "ml/precision.hpp"
+
+namespace {
+
+/// Steps actually executed for one greedy decode: one per emitted token,
+/// plus the step that produced EOS when the budget did not run out first.
+int64_t steps_of(const std::vector<std::vector<ota::nlp::TokenId>>& outs,
+                 int64_t budget) {
+  int64_t steps = 0;
+  for (const auto& o : outs) {
+    const int64_t len = static_cast<int64_t>(o.size());
+    steps += len < budget ? len + 1 : len;
+  }
+  return steps;
+}
+
+}  // namespace
+
+int main() {
+  using namespace ota;
+  using namespace ota::benchsupport;
+  using Clock = std::chrono::steady_clock;
+  const char* smoke_env = std::getenv("OTA_INFER_TIER_SMOKE");
+  const bool smoke = smoke_env && std::strcmp(smoke_env, "0") != 0;
+  const Scale sc = Scale::from_env();
+
+  std::printf("=== Inference tiers: double reference vs float32 SIMD "
+              "(scale '%s'%s) ===\n",
+              sc.name.c_str(), smoke ? ", smoke" : "");
+
+  // One deterministic dataset + model; the probe targets come from the same
+  // distribution the model trained on, so the decodes are realistic decoder
+  // sequences, not noise.
+  auto topo = circuit::make_topology("5T-OTA", tech());
+  core::DataGenOptions gopt;
+  gopt.target_designs = smoke ? 60 : 200;
+  gopt.max_attempts = gopt.target_designs * 200;
+  gopt.seed = 2024;
+  const core::Dataset ds = core::generate_dataset(
+      topo, tech(), core::SpecRange::for_topology("5T-OTA"), gopt);
+  const core::SequenceBuilder builder(topo, tech());
+  std::vector<std::pair<std::string, std::string>> pairs;
+  pairs.reserve(ds.designs.size());
+  for (const auto& d : ds.designs) {
+    pairs.emplace_back(builder.encoder_text(d.specs), builder.decoder_text(d));
+  }
+
+  core::TrainOptions topt;
+  topt.seed = 17;
+  if (smoke) {
+    topt.epochs = 2;
+    topt.d_model = 32;
+    topt.d_ff = 64;
+    topt.bpe_merges = 128;
+  } else {
+    topt.epochs = 4;
+    topt.d_model = sc.d_model;
+    topt.n_heads = sc.n_heads;
+    topt.n_layers = sc.n_layers;
+    topt.d_ff = sc.d_ff;
+  }
+  core::SizingModel model;
+  std::fprintf(stderr, "[bench] training the 5T-OTA model...\n");
+  model.train(pairs, topt);
+  const ml::InferenceEngine& engine = model.engine();
+
+  const int n_probes = smoke ? 8 : 16;
+  const int64_t max_tokens = smoke ? 96 : 256;
+  const auto targets = core::targets_from_designs(ds.designs, n_probes, 0.06, 17);
+  std::vector<std::vector<nlp::TokenId>> srcs;
+  srcs.reserve(targets.size());
+  for (const auto& t : targets) {
+    srcs.push_back(model.tokenizer().encode(builder.encoder_text(t)));
+  }
+
+  // Gate 1: token agreement.  The double pass is the reference; the float32
+  // pass must reproduce its streams exactly.  Both decoded serially
+  // (threads=1) so the comparison is pure kernel numerics.
+  const auto ref = engine.greedy_decode_batch(srcs, max_tokens, 1,
+                                              ml::Precision::kDouble);
+  const auto f32 = engine.greedy_decode_batch(srcs, max_tokens, 1,
+                                              ml::Precision::kFloat32);
+  bool agree = ref.size() == f32.size();
+  size_t first_diverged = srcs.size();
+  for (size_t i = 0; agree && i < ref.size(); ++i) {
+    if (ref[i] != f32[i]) {
+      agree = false;
+      first_diverged = i;
+    }
+  }
+
+  // Gate 2: run-to-run determinism of each tier.
+  const bool deterministic =
+      engine.greedy_decode_batch(srcs, max_tokens, 1,
+                                 ml::Precision::kDouble) == ref &&
+      engine.greedy_decode_batch(srcs, max_tokens, 1,
+                                 ml::Precision::kFloat32) == f32;
+
+  // Throughput: repeated serial passes over the batch; the agreement gate
+  // means both tiers execute the same number of session steps, so the rate
+  // ratio is a pure per-token cost ratio.
+  const int64_t steps = steps_of(ref, max_tokens);
+  const int repeats = smoke ? 2 : 5;
+  const auto time_tier = [&](ml::Precision tier) {
+    (void)engine.greedy_decode_batch(srcs, max_tokens, 1, tier);  // warm-up
+    const auto t0 = Clock::now();
+    for (int r = 0; r < repeats; ++r) {
+      (void)engine.greedy_decode_batch(srcs, max_tokens, 1, tier);
+    }
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+  };
+  const double double_seconds = time_tier(ml::Precision::kDouble);
+  const double f32_seconds = time_tier(ml::Precision::kFloat32);
+  const double tokens_total = static_cast<double>(steps * repeats);
+  const double double_rate =
+      double_seconds > 0.0 ? tokens_total / double_seconds : 0.0;
+  const double f32_rate = f32_seconds > 0.0 ? tokens_total / f32_seconds : 0.0;
+  const double speedup = double_rate > 0.0 ? f32_rate / double_rate : 0.0;
+
+  std::printf("%10s %10s %12s %9s\n", "tier", "seconds", "tokens/s", "speedup");
+  std::printf("%10s %9.3fs %12.0f %9s\n", "double", double_seconds,
+              double_rate, "1.00x");
+  std::printf("%10s %9.3fs %12.0f %8.2fx\n", "float32", f32_seconds, f32_rate,
+              speedup);
+  std::printf("agreement: %s over %d probes (%lld decode steps/pass)\n",
+              agree ? "token-identical" : "DIVERGED", n_probes,
+              static_cast<long long>(steps));
+  std::printf("determinism: %s\n",
+              deterministic ? "bit-identical run to run" : "NON-DETERMINISTIC");
+
+  const char* json_env = std::getenv("OTA_BENCH_JSON");
+  const std::string json_path =
+      json_env && *json_env ? json_env : "BENCH_infer.json";
+  {
+    std::ofstream js(json_path);
+    char buf[768];
+    std::snprintf(buf, sizeof buf,
+                  "{\n  \"bench\": \"infer_tier\",\n"
+                  "  \"scale\": \"%s\",\n  \"smoke\": %s,\n"
+                  "  \"probes\": %d,\n  \"max_tokens\": %lld,\n"
+                  "  \"decode_steps_per_pass\": %lld,\n  \"repeats\": %d,\n"
+                  "  \"double_seconds\": %.4f,\n  \"f32_seconds\": %.4f,\n"
+                  "  \"double_tokens_per_sec\": %.1f,\n"
+                  "  \"f32_tokens_per_sec\": %.1f,\n"
+                  "  \"f32_speedup\": %.3f,\n"
+                  "  \"token_agreement\": %s,\n  \"deterministic\": %s\n}\n",
+                  sc.name.c_str(), smoke ? "true" : "false", n_probes,
+                  static_cast<long long>(max_tokens),
+                  static_cast<long long>(steps), repeats, double_seconds,
+                  f32_seconds, double_rate, f32_rate, speedup,
+                  agree ? "true" : "false", deterministic ? "true" : "false");
+    js << buf;
+  }
+  std::printf("\nwrote %s\n", json_path.c_str());
+
+  if (!agree) {
+    std::fprintf(stderr,
+                 "FAIL: float32 tier diverged from the double reference "
+                 "(first at probe %zu) — the fast tier may not ship while it "
+                 "changes answers\n",
+                 first_diverged);
+    return 1;
+  }
+  if (!deterministic) {
+    std::fprintf(stderr, "FAIL: a tier is not bit-identical run to run\n");
+    return 1;
+  }
+  if (!smoke) {
+    constexpr double kRequiredSpeedup = 1.3;
+    if (speedup < kRequiredSpeedup) {
+      std::fprintf(stderr,
+                   "FAIL: float32 tier %.2fx below the %.1fx tokens/sec floor "
+                   "over the double tier\n",
+                   speedup, kRequiredSpeedup);
+      return 1;
+    }
+  }
+  return 0;
+}

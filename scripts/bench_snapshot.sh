@@ -1,13 +1,15 @@
 #!/usr/bin/env bash
 # Captures the perf-trajectory snapshots: BENCH_train.json + BENCH_ac.json +
-# BENCH_campaign.json.
+# BENCH_campaign.json + BENCH_infer.json.
 #
 # Runs the bench_train_runtime sweep (1/2/4/8 training threads, bit-identity
 # gate), the bench_ac_sweep sweep (naive vs batched AC engine, bit-identity
-# + accuracy gates), and the bench_campaign_server run (concurrent sizing
+# + accuracy gates), the bench_campaign_server run (concurrent sizing
 # campaigns vs the serial copilot, bit-identity + decode-batch-occupancy +
-# overload/admission-control gates) from an existing build tree and leaves
-# the JSON files next to the
+# overload/admission-control gates), and the bench_infer_tier run (float32
+# SIMD decode tier vs the double reference: token agreement + determinism +
+# the 1.3x tokens/sec floor in non-smoke runs) from an existing build tree
+# and leaves the JSON files next to the
 # repo root so the perf trajectory accumulates data points across PRs.
 # CI uploads the same files as workflow artifacts from its smoke runs.
 #
@@ -15,15 +17,16 @@
 #   build-dir        defaults to ./build (the release preset's binaryDir)
 #   OTA_BENCH_DIR    output directory for the JSON files (default .)
 #   OTA_SCALE        tiny|small|paper, as for every bench (default small)
-#   OTA_TRAIN_SMOKE=1 / OTA_AC_SMOKE=1 / OTA_CAMPAIGN_SMOKE=1 for the quick
-#   smoke sweeps
+#   OTA_TRAIN_SMOKE=1 / OTA_AC_SMOKE=1 / OTA_CAMPAIGN_SMOKE=1 /
+#   OTA_INFER_TIER_SMOKE=1 for the quick smoke sweeps
 set -euo pipefail
 
 build_dir=${1:-build}
 out_dir=${OTA_BENCH_DIR:-.}
 mkdir -p "$out_dir"
 
-for bench in bench_train_runtime bench_ac_sweep bench_campaign_server; do
+for bench in bench_train_runtime bench_ac_sweep bench_campaign_server \
+             bench_infer_tier; do
   bin="$build_dir/bench/$bench"
   if [[ ! -x "$bin" ]]; then
     echo "error: $bin not built (cmake --build --preset release)" >&2
@@ -34,4 +37,6 @@ done
 OTA_BENCH_JSON="$out_dir/BENCH_train.json" "$build_dir/bench/bench_train_runtime"
 OTA_BENCH_JSON="$out_dir/BENCH_ac.json" "$build_dir/bench/bench_ac_sweep"
 OTA_BENCH_JSON="$out_dir/BENCH_campaign.json" "$build_dir/bench/bench_campaign_server"
-echo "snapshots: $out_dir/BENCH_train.json $out_dir/BENCH_ac.json $out_dir/BENCH_campaign.json"
+OTA_BENCH_JSON="$out_dir/BENCH_infer.json" "$build_dir/bench/bench_infer_tier"
+echo "snapshots: $out_dir/BENCH_train.json $out_dir/BENCH_ac.json" \
+     "$out_dir/BENCH_campaign.json $out_dir/BENCH_infer.json"

@@ -23,6 +23,7 @@
 
 #include "common/error.hpp"
 #include "core/predictor.hpp"
+#include "ml/precision.hpp"
 
 namespace ota::core {
 
@@ -93,7 +94,15 @@ class PredictionClient {
 /// copilot's refinement loop used to make directly.
 class SerialPredictionClient : public PredictionClient {
  public:
-  explicit SerialPredictionClient(const Predictor& model) : model_(model) {}
+  /// `precision` selects the numeric tier every submit decodes at
+  /// (ml::Precision::kDouble, the default, is the bit-identity reference;
+  /// kFloat32 is the SIMD serving tier).  Validated here so a forged enum
+  /// value is refused at construction, not at the first prediction.
+  explicit SerialPredictionClient(
+      const Predictor& model, ml::Precision precision = ml::Precision::kDouble)
+      : model_(model),
+        precision_(
+            ml::validated_precision(precision, "SerialPredictionClient")) {}
 
   using PredictionClient::submit;
   std::unique_ptr<Handle> submit(const std::string& encoder_text,
@@ -113,12 +122,15 @@ class SerialPredictionClient : public PredictionClient {
     // threads=1 keeps the prediction inline under outer worker threads
     // (campaign fan-out), as the direct call site always did.
     return std::make_unique<Ready>(
-        model_.predict_batch({encoder_text}, max_tokens, /*threads=*/1)
+        model_
+            .predict_batch({encoder_text}, max_tokens, /*threads=*/1,
+                           precision_)
             .front());
   }
 
  private:
   const Predictor& model_;
+  ml::Precision precision_;
 };
 
 }  // namespace ota::core

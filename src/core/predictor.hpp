@@ -8,6 +8,8 @@
 #include <string>
 #include <vector>
 
+#include "ml/precision.hpp"
+
 namespace ota::core {
 
 class Predictor {
@@ -33,6 +35,20 @@ class Predictor {
       out.push_back(predict(text, max_tokens));
     }
     return out;
+  }
+
+  /// Tier-selecting batch prediction.  Predictors with a numeric fast path
+  /// (SizingModel's float32 inference tier) override this; everything else —
+  /// notably the non-learned reference predictors, which have no floating
+  /// tiers at all — computes the one answer it has and ignores the knob.
+  /// Contract for overrides: ml::Precision::kDouble must stay bit-identical
+  /// to the 3-arg overload, and kFloat32 output must be deterministic for
+  /// any `threads` value.
+  virtual std::vector<std::string> predict_batch(
+      const std::vector<std::string>& encoder_texts, int max_tokens,
+      int threads, ml::Precision precision) const {
+    ml::validated_precision(precision, "Predictor::predict_batch");
+    return predict_batch(encoder_texts, max_tokens, threads);
   }
 };
 

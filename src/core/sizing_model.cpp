@@ -177,6 +177,14 @@ std::string SizingModel::predict(const std::string& encoder_text,
 std::vector<std::string> SizingModel::predict_batch(
     const std::vector<std::string>& encoder_texts, int max_tokens,
     int threads) const {
+  return predict_batch(encoder_texts, max_tokens, threads,
+                       ml::Precision::kDouble);
+}
+
+std::vector<std::string> SizingModel::predict_batch(
+    const std::vector<std::string>& encoder_texts, int max_tokens,
+    int threads, ml::Precision precision) const {
+  ml::validated_precision(precision, "SizingModel::predict_batch");
   // An empty batch has exactly one correct answer and needs no model for it;
   // returning it up front keeps degenerate sweeps (0 validation designs, a
   // drained campaign queue) from tripping over engine state.
@@ -187,7 +195,8 @@ std::vector<std::string> SizingModel::predict_batch(
   for (const std::string& text : encoder_texts) {
     srcs.push_back(tokenizer_.encode(text));
   }
-  const auto decoded = engine_->greedy_decode_batch(srcs, max_tokens, threads);
+  const auto decoded =
+      engine_->greedy_decode_batch(srcs, max_tokens, threads, precision);
   std::vector<std::string> out;
   out.reserve(decoded.size());
   for (const auto& tokens : decoded) out.push_back(tokenizer_.decode(tokens));

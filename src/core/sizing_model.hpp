@@ -70,6 +70,13 @@ class SizingModel : public Predictor {
       const std::vector<std::string>& encoder_texts, int max_tokens = 800,
       int threads = 0) const override;
 
+  /// Tier-selecting overload: kDouble is the bit-identity path above;
+  /// kFloat32 decodes through the engine's float32 snapshot (deterministic
+  /// for any thread count, agreement-gated against the double tier).
+  std::vector<std::string> predict_batch(
+      const std::vector<std::string>& encoder_texts, int max_tokens,
+      int threads, ml::Precision precision) const override;
+
   bool trained() const { return model_ != nullptr && engine_ != nullptr; }
   const nlp::BpeTokenizer& tokenizer() const;
   const ml::Transformer& transformer() const;

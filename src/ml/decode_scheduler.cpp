@@ -25,6 +25,7 @@ DecodeScheduler::Options validated(DecodeScheduler::Options opt) {
         std::to_string(opt.max_batch) +
         " (a batch that can never admit a request would hang every wait)");
   }
+  validated_precision(opt.precision, "DecodeScheduler");
   return opt;
 }
 
@@ -248,8 +249,8 @@ void DecodeScheduler::loop() {
         continue;
       }
       try {
-        a.session =
-            std::make_unique<InferenceEngine::Session>(engine_, a.ticket->src);
+        a.session = std::make_unique<InferenceEngine::Session>(
+            engine_, a.ticket->src, opt_.precision);
         a.budget = std::min<int64_t>(a.ticket->max_tokens,
                                      engine_.config().max_len);
         active.push_back(std::move(a));
@@ -328,6 +329,11 @@ void DecodeScheduler::loop() {
         // occupancy figure of merit.
         ++stats_.rounds;
         stats_.session_steps += batch;
+        if (opt_.precision == Precision::kFloat32) {
+          stats_.tokens_f32 += batch;
+        } else {
+          stats_.tokens_double += batch;
+        }
         stats_.peak_batch = std::max<uint64_t>(stats_.peak_batch, batch);
       }
       stats_.served += served;

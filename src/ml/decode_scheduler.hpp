@@ -49,6 +49,11 @@ class DecodeScheduler {
     /// 0 (default) = the persistent process-wide pool; > 0 = a dedicated
     /// pool of that size owned by the scheduler.
     int threads = 0;
+    /// Numeric tier every session decodes at.  kDouble (default) is the
+    /// bit-identity reference; kFloat32 decodes through the engine's f32
+    /// snapshot — agreement-gated, see ml/precision.hpp.  Validated at
+    /// construction (an out-of-range cast is refused at the door).
+    Precision precision = Precision::kDouble;
   };
 
   /// Per-request cancellation context for submit().  Both members are
@@ -149,6 +154,11 @@ class DecodeScheduler {
     uint64_t rounds = 0;        ///< scheduler rounds that stepped >= 1 session
     uint64_t session_steps = 0; ///< total single-session token steps
     uint64_t peak_batch = 0;    ///< widest dynamic batch observed
+    /// Per-tier split of session_steps (tokens_double + tokens_f32 ==
+    /// session_steps), so serving dashboards can see which tier paid for
+    /// the traffic.
+    uint64_t tokens_double = 0;
+    uint64_t tokens_f32 = 0;
     /// Mean sessions advanced per round — the coalescing figure of merit:
     /// 1.0 means the engine ran serially, > 1 means requests genuinely
     /// shared rounds.

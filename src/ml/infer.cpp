@@ -4,6 +4,7 @@
 #include <cmath>
 #include <map>
 #include <string>
+#include <type_traits>
 
 #include "par/thread_pool.hpp"
 
@@ -18,31 +19,80 @@ using nlp::Vocabulary;
 // results are bit-identical to the autograd path's.  Do not "clean up" loop
 // orders or hoist terms here without re-running the bit-identity properties
 // in tests/test_infer.cpp.
+//
+// The row kernels are templated on the scalar/tensor type so the float32
+// serving tier runs the exact same loop structure over its narrowed weight
+// snapshot.  The double instantiations are the pre-existing reference code:
+// per-element accumulation order is unchanged, and the `#pragma omp simd`
+// hints sit only on lane-independent loops (each output element still sums
+// in the same order), never on reductions (which would permit reassociation
+// and break the bit-identity contract).
 namespace {
 
+/// Initial max for the softmax row scan.  The double value is the historical
+/// -1e300 (not numeric_limits::lowest()) so the reference tier stays
+/// byte-for-byte identical to the pre-tier code.
+template <typename T>
+constexpr T score_floor() {
+  if constexpr (std::is_same_v<T, double>) {
+    return -1e300;
+  } else {
+    return -1e30f;
+  }
+}
+
+/// Ascending-p dot product — the reference accumulation order.  The double
+/// overload IS the bit-identity contract; do not unroll it.
+inline double dot_row(const double* a, const double* b, int64_t n) {
+  double acc = 0.0;
+  for (int64_t p = 0; p < n; ++p) acc += a[p] * b[p];
+  return acc;
+}
+
+/// Float32 overload: four independent accumulator chains so the compiler can
+/// keep 4+ multiply-adds in flight (the serial chain is the bottleneck on
+/// the attention score loop).  f32 has no bit-identity obligation to the
+/// double tier — only run-to-run determinism, which a fixed unroll preserves.
+inline float dot_row(const float* a, const float* b, int64_t n) {
+  float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+  int64_t p = 0;
+  for (; p + 4 <= n; p += 4) {
+    s0 += a[p + 0] * b[p + 0];
+    s1 += a[p + 1] * b[p + 1];
+    s2 += a[p + 2] * b[p + 2];
+    s3 += a[p + 3] * b[p + 3];
+  }
+  for (; p < n; ++p) s0 += a[p] * b[p];
+  return (s0 + s1) + (s2 + s3);
+}
+
 /// out = x * W for one row x (length k), matching the NN GEMM kernel:
-/// p-outer / j-inner accumulation with the av == 0.0 skip.
-void project_row(const double* x, const Tensor& w, double* out) {
+/// p-outer / j-inner accumulation with the av == 0 skip.
+template <typename TT, typename T = typename TT::value_type>
+void project_row(const T* x, const TT& w, T* out) {
   const int64_t k = w.rows(), n = w.cols();
-  std::fill(out, out + n, 0.0);
+  std::fill(out, out + n, T(0));
   for (int64_t p = 0; p < k; ++p) {
-    const double xv = x[p];
-    if (xv == 0.0) continue;
-    const double* wrow = w.data().data() + p * n;
+    const T xv = x[p];
+    if (xv == T(0)) continue;
+    const T* wrow = w.data().data() + p * n;
+#pragma omp simd
     for (int64_t j = 0; j < n; ++j) out[j] += xv * wrow[j];
   }
 }
 
-void add_bias_row(double* x, const Tensor& bias) {
+template <typename TT, typename T = typename TT::value_type>
+void add_bias_row(T* x, const TT& bias) {
   for (int64_t c = 0; c < bias.cols(); ++c) x[c] += bias(0, c);
 }
 
 /// In-place softmax over s[0..n), same max/exp/normalize order as
 /// softmax_rows in ops.cpp.
-void softmax_row(double* s, int64_t n) {
-  double mx = -1e300;
+template <typename T>
+void softmax_row(T* s, int64_t n) {
+  T mx = score_floor<T>();
   for (int64_t c = 0; c < n; ++c) mx = std::max(mx, s[c]);
-  double denom = 0.0;
+  T denom = T(0);
   for (int64_t c = 0; c < n; ++c) {
     s[c] = std::exp(s[c] - mx);
     denom += s[c];
@@ -52,46 +102,47 @@ void softmax_row(double* s, int64_t n) {
 
 /// In-place row layer-norm, same statistics and output expression as
 /// layer_norm in ops.cpp (eps matches its default).
-void layer_norm_row(double* x, int64_t n, const LayerNormWeights& w,
-                    double eps = 1e-5) {
-  double mu = 0.0;
+template <typename TT, typename T = typename TT::value_type>
+void layer_norm_row(T* x, int64_t n, const LayerNormWeightsT<TT>& w) {
+  T mu = T(0);
   for (int64_t c = 0; c < n; ++c) mu += x[c];
-  mu /= static_cast<double>(n);
-  double var = 0.0;
+  mu /= static_cast<T>(n);
+  T var = T(0);
   for (int64_t c = 0; c < n; ++c) {
-    const double d = x[c] - mu;
+    const T d = x[c] - mu;
     var += d * d;
   }
-  var /= static_cast<double>(n);
-  const double rs = 1.0 / std::sqrt(var + eps);
+  var /= static_cast<T>(n);
+  const T rs = T(1) / std::sqrt(var + static_cast<T>(1e-5));
+#pragma omp simd
   for (int64_t c = 0; c < n; ++c) {
     x[c] = w.gamma(0, c) * (x[c] - mu) * rs + w.beta(0, c);
   }
 }
 
 /// Multi-head scaled-dot attention of one query row against cached keys and
-/// values (Lk rows of d_model doubles, head columns fused side by side).
+/// values (Lk rows of d_model scalars, head columns fused side by side).
 /// Writes the fused context row (pre-W_O) into ctx.
-void attend_row(const double* q, const double* keys, const double* values,
-                int64_t lk, int64_t d_model, int64_t d_head, double* ctx,
-                std::vector<double>& scores) {
+template <typename T>
+void attend_row(const T* q, const T* keys, const T* values, int64_t lk,
+                int64_t d_model, int64_t d_head, T* ctx,
+                std::vector<T>& scores) {
   const int64_t n_heads = d_model / d_head;
-  const double inv_sqrt_dk = 1.0 / std::sqrt(static_cast<double>(d_head));
-  std::fill(ctx, ctx + d_model, 0.0);
+  const T inv_sqrt_dk = T(1) / std::sqrt(static_cast<T>(d_head));
+  std::fill(ctx, ctx + d_model, T(0));
   scores.resize(static_cast<size_t>(lk));
   for (int64_t h = 0; h < n_heads; ++h) {
     const int64_t ho = h * d_head;
     for (int64_t j = 0; j < lk; ++j) {
-      double acc = 0.0;
-      const double* krow = keys + j * d_model + ho;
-      for (int64_t p = 0; p < d_head; ++p) acc += q[ho + p] * krow[p];
-      scores[static_cast<size_t>(j)] = acc * inv_sqrt_dk;
+      scores[static_cast<size_t>(j)] =
+          dot_row(q + ho, keys + j * d_model + ho, d_head) * inv_sqrt_dk;
     }
     softmax_row(scores.data(), lk);
     for (int64_t p = 0; p < lk; ++p) {
-      const double a = scores[static_cast<size_t>(p)];
-      if (a == 0.0) continue;  // the NN kernel's zero skip
-      const double* vrow = values + p * d_model + ho;
+      const T a = scores[static_cast<size_t>(p)];
+      if (a == T(0)) continue;  // the NN kernel's zero skip
+      const T* vrow = values + p * d_model + ho;
+#pragma omp simd
       for (int64_t c = 0; c < d_head; ++c) ctx[ho + c] += a * vrow[c];
     }
   }
@@ -103,36 +154,83 @@ void attend_row(const double* q, const double* keys, const double* values,
 /// returns the attention output (L, d_model) after the fused W_O projection
 /// and bias.  Each query row goes through the same attend_row kernel the
 /// decoder Session uses — one copy of the bit-identity-critical loop.
-Tensor attention_full(const Tensor& q_src, const Tensor& kv_src,
-                      const FusedAttentionWeights& w, int64_t d_head) {
+template <typename TT, typename T = typename TT::value_type>
+TT attention_full(const TT& q_src, const TT& kv_src,
+                  const FusedAttentionWeightsT<TT>& w, int64_t d_head) {
   const int64_t lq = q_src.rows(), lk = kv_src.rows(), d_model = w.wq.cols();
-  Tensor q, k, v;
+  TT q, k, v;
   matmul_into(q_src, w.wq, q);
   matmul_into(kv_src, w.wk, k);
   matmul_into(kv_src, w.wv, v);
 
-  Tensor ctx(lq, d_model);
-  std::vector<double> scores(static_cast<size_t>(lk));
+  TT ctx(lq, d_model);
+  std::vector<T> scores(static_cast<size_t>(lk));
   for (int64_t i = 0; i < lq; ++i) {
     attend_row(&q(i, 0), k.data().data(), v.data().data(), lk, d_model, d_head,
                &ctx(i, 0), scores);
   }
-  Tensor out;
+  TT out;
   matmul_into(ctx, w.wo, out);
   for (int64_t r = 0; r < out.rows(); ++r) add_bias_row(&out(r, 0), w.bo);
   return out;
 }
 
 /// Position-wise FFN over all rows: relu(x W_in + b_in) W_out + b_out.
-Tensor ffn_full(const Tensor& x, const FeedForwardWeights& w) {
-  Tensor h;
+template <typename TT, typename T = typename TT::value_type>
+TT ffn_full(const TT& x, const FeedForwardWeightsT<TT>& w) {
+  TT h;
   matmul_into(x, w.w_in, h);
   for (int64_t r = 0; r < h.rows(); ++r) add_bias_row(&h(r, 0), w.b_in);
-  for (double& v : h.data()) v = v > 0.0 ? v : 0.0;
-  Tensor out;
+  for (T& v : h.data()) v = v > T(0) ? v : T(0);
+  TT out;
   matmul_into(h, w.w_out, out);
   for (int64_t r = 0; r < out.rows(); ++r) add_bias_row(&out(r, 0), w.b_out);
   return out;
+}
+
+/// Shared encoder pass: embedding+positional rows, then per-layer
+/// self-attention / norm / FFN / norm.  One body for both tiers; the double
+/// instantiation is the bit-identity reference, the f32 instantiation runs
+/// on the narrowed snapshot with half the memory traffic.
+template <typename TT, typename T = typename TT::value_type>
+TT encode_impl(const std::vector<TokenId>& src, const TT& embed, const TT& pos,
+               const std::vector<EncoderLayerWeightsT<TT>>& layers,
+               const TransformerConfig& cfg, int64_t d_head) {
+  if (src.empty()) {
+    throw InvalidArgument("InferenceEngine::encode: empty input");
+  }
+  const int64_t len = static_cast<int64_t>(src.size());
+  if (len > cfg.max_len) {
+    throw InvalidArgument(
+        "InferenceEngine::encode: input length " + std::to_string(len) +
+        " exceeds the positional table (max_len " + std::to_string(cfg.max_len) +
+        "); re-train with a larger max_len or shorten the input");
+  }
+  const T sqrt_d = std::sqrt(static_cast<T>(cfg.d_model));
+  TT x(len, cfg.d_model);
+  for (int64_t i = 0; i < len; ++i) {
+    const TokenId id = src[static_cast<size_t>(i)];
+    if (id < 0 || id >= embed.rows()) {
+      throw InvalidArgument("InferenceEngine::encode: token id out of range");
+    }
+#pragma omp simd
+    for (int64_t c = 0; c < cfg.d_model; ++c) {
+      x(i, c) = embed(id, c) * sqrt_d + pos(i, c);
+    }
+  }
+  for (const EncoderLayerWeightsT<TT>& layer : layers) {
+    const TT attn = attention_full(x, x, layer.self, d_head);
+    for (int64_t i = 0; i < x.size(); ++i) x.at(i) += attn.at(i);
+    for (int64_t r = 0; r < len; ++r) {
+      layer_norm_row(&x(r, 0), cfg.d_model, layer.norm1);
+    }
+    const TT ff = ffn_full(x, layer.ffn);
+    for (int64_t i = 0; i < x.size(); ++i) x.at(i) += ff.at(i);
+    for (int64_t r = 0; r < len; ++r) {
+      layer_norm_row(&x(r, 0), cfg.d_model, layer.norm2);
+    }
+  }
+  return x;
 }
 
 /// Weight lookup by registry name, so the snapshot survives reordering of
@@ -202,6 +300,33 @@ LayerNormWeights snapshot_norm(const WeightMap& w, const std::string& site) {
   return LayerNormWeights{w.get(site + ".gamma"), w.get(site + ".beta")};
 }
 
+// Round-to-nearest narrowing of a fused double snapshot into the f32 mirror,
+// structure by structure.  Taken from the already-fused double tensors so
+// both tiers share one layout (and the f32 tier inherits any future fusing
+// changes automatically).
+FusedAttentionWeightsT<TensorF> narrow(const FusedAttentionWeights& w) {
+  return {TensorF::from(w.wq), TensorF::from(w.wk), TensorF::from(w.wv),
+          TensorF::from(w.wo), TensorF::from(w.bo)};
+}
+
+FeedForwardWeightsT<TensorF> narrow(const FeedForwardWeights& w) {
+  return {TensorF::from(w.w_in), TensorF::from(w.b_in),
+          TensorF::from(w.w_out), TensorF::from(w.b_out)};
+}
+
+LayerNormWeightsT<TensorF> narrow(const LayerNormWeights& w) {
+  return {TensorF::from(w.gamma), TensorF::from(w.beta)};
+}
+
+EncoderLayerWeightsT<TensorF> narrow(const EncoderLayerWeights& e) {
+  return {narrow(e.self), narrow(e.ffn), narrow(e.norm1), narrow(e.norm2)};
+}
+
+DecoderLayerWeightsT<TensorF> narrow(const DecoderLayerWeights& d) {
+  return {narrow(d.self), narrow(d.cross), narrow(d.ffn),
+          narrow(d.norm1), narrow(d.norm2), narrow(d.norm3)};
+}
+
 }  // namespace
 
 InferenceEngine::InferenceEngine(const Transformer& model)
@@ -231,67 +356,75 @@ InferenceEngine::InferenceEngine(const Transformer& model)
     d.norm3 = snapshot_norm(w, dec + ".norm3");
     decoder_.push_back(std::move(d));
   }
+
+  // Float32 mirror, taken in the same compile so both tiers are always
+  // available at decode time.  Narrowing happens after head fusing, so the
+  // mirrors stay structurally identical to the double snapshot.
+  src_embed_f_ = TensorF::from(src_embed_);
+  tgt_embed_f_ = TensorF::from(tgt_embed_);
+  pos_f_ = TensorF::from(pos_);
+  out_w_f_ = TensorF::from(out_w_);
+  out_b_f_ = TensorF::from(out_b_);
+  encoder_f_.reserve(encoder_.size());
+  for (const EncoderLayerWeights& e : encoder_) encoder_f_.push_back(narrow(e));
+  decoder_f_.reserve(decoder_.size());
+  for (const DecoderLayerWeights& d : decoder_) decoder_f_.push_back(narrow(d));
 }
 
 Tensor InferenceEngine::encode(const std::vector<TokenId>& src) const {
-  if (src.empty()) {
-    throw InvalidArgument("InferenceEngine::encode: empty input");
-  }
-  const int64_t len = static_cast<int64_t>(src.size());
-  if (len > cfg_.max_len) {
-    throw InvalidArgument(
-        "InferenceEngine::encode: input length " + std::to_string(len) +
-        " exceeds the positional table (max_len " + std::to_string(cfg_.max_len) +
-        "); re-train with a larger max_len or shorten the input");
-  }
-  const double sqrt_d = std::sqrt(static_cast<double>(cfg_.d_model));
-  Tensor x(len, cfg_.d_model);
-  for (int64_t i = 0; i < len; ++i) {
-    const TokenId id = src[static_cast<size_t>(i)];
-    if (id < 0 || id >= src_embed_.rows()) {
-      throw InvalidArgument("InferenceEngine::encode: token id out of range");
-    }
-    for (int64_t c = 0; c < cfg_.d_model; ++c) {
-      x(i, c) = src_embed_(id, c) * sqrt_d + pos_(i, c);
-    }
-  }
-  for (const EncoderLayerWeights& layer : encoder_) {
-    const Tensor attn = attention_full(x, x, layer.self, d_head_);
-    for (int64_t i = 0; i < x.size(); ++i) x.at(i) += attn.at(i);
-    for (int64_t r = 0; r < len; ++r) {
-      layer_norm_row(&x(r, 0), cfg_.d_model, layer.norm1);
-    }
-    const Tensor ff = ffn_full(x, layer.ffn);
-    for (int64_t i = 0; i < x.size(); ++i) x.at(i) += ff.at(i);
-    for (int64_t r = 0; r < len; ++r) {
-      layer_norm_row(&x(r, 0), cfg_.d_model, layer.norm2);
-    }
-  }
-  return x;
+  return encode_impl(src, src_embed_, pos_, encoder_, cfg_, d_head_);
+}
+
+TensorF InferenceEngine::encode_f32(const std::vector<TokenId>& src) const {
+  return encode_impl(src, src_embed_f_, pos_f_, encoder_f_, cfg_, d_head_);
 }
 
 InferenceEngine::Session::Session(const InferenceEngine& engine,
-                                  const std::vector<TokenId>& src)
-    : eng_(engine), memory_(engine.encode(src)),
+                                  const std::vector<TokenId>& src,
+                                  Precision precision)
+    : eng_(engine),
+      precision_(
+          validated_precision(precision, "InferenceEngine::Session")),
       logits_(1, engine.cfg_.vocab_size) {
   const size_t layers = eng_.decoder_.size();
-  cross_k_.resize(layers);
-  cross_v_.resize(layers);
-  self_k_.resize(layers);
-  self_v_.resize(layers);
   const size_t d = static_cast<size_t>(engine.cfg_.d_model);
-  x_.resize(d);
-  row_.resize(d);
-  ctx_.resize(d);
-  out_.resize(d);
-  if (!eng_.decoder_.empty()) {
-    ff_.resize(static_cast<size_t>(eng_.decoder_[0].ffn.w_in.cols()));
-  }
-  for (size_t l = 0; l < layers; ++l) {
-    // The reference recomputes K/V from the (fixed) memory every step; the
-    // values never change, so computing them once per request is exact.
-    matmul_into(memory_, eng_.decoder_[l].cross.wk, cross_k_[l]);
-    matmul_into(memory_, eng_.decoder_[l].cross.wv, cross_v_[l]);
+  if (precision_ == Precision::kDouble) {
+    memory_ = engine.encode(src);
+    cross_k_.resize(layers);
+    cross_v_.resize(layers);
+    self_k_.resize(layers);
+    self_v_.resize(layers);
+    x_.resize(d);
+    row_.resize(d);
+    ctx_.resize(d);
+    out_.resize(d);
+    if (!eng_.decoder_.empty()) {
+      ff_.resize(static_cast<size_t>(eng_.decoder_[0].ffn.w_in.cols()));
+    }
+    for (size_t l = 0; l < layers; ++l) {
+      // The reference recomputes K/V from the (fixed) memory every step; the
+      // values never change, so computing them once per request is exact.
+      matmul_into(memory_, eng_.decoder_[l].cross.wk, cross_k_[l]);
+      matmul_into(memory_, eng_.decoder_[l].cross.wv, cross_v_[l]);
+    }
+  } else {
+    memory_f_ = engine.encode_f32(src);
+    cross_kf_.resize(layers);
+    cross_vf_.resize(layers);
+    self_kf_.resize(layers);
+    self_vf_.resize(layers);
+    xf_.resize(d);
+    rowf_.resize(d);
+    ctxf_.resize(d);
+    outf_.resize(d);
+    logitsf_.resize(static_cast<size_t>(engine.cfg_.vocab_size));
+    if (!eng_.decoder_f_.empty()) {
+      fff_.resize(static_cast<size_t>(eng_.decoder_f_[0].ffn.w_in.cols()));
+    }
+    for (size_t l = 0; l < layers; ++l) {
+      matmul_into(memory_f_, eng_.decoder_f_[l].cross.wk, cross_kf_[l]);
+      matmul_into(memory_f_, eng_.decoder_f_[l].cross.wv, cross_vf_[l]);
+    }
   }
 }
 
@@ -305,6 +438,11 @@ const Tensor& InferenceEngine::Session::step(TokenId token) {
   }
   if (token < 0 || token >= eng_.tgt_embed_.rows()) {
     throw InvalidArgument("InferenceEngine::Session::step: token id out of range");
+  }
+  if (precision_ == Precision::kFloat32) {
+    step_f32(token);
+    ++length_;
+    return logits_;
   }
   const int64_t d = cfg.d_model;
   const double sqrt_d = std::sqrt(static_cast<double>(d));
@@ -363,6 +501,68 @@ const Tensor& InferenceEngine::Session::step(TokenId token) {
   return logits_;
 }
 
+// Float32 mirror of the double step body above: same kernels (templated),
+// same order, half the bytes per weight read.  The logits are widened into
+// the shared double row at the end — widening is monotone and tie-preserving,
+// so argmax over the widened row equals argmax over the float row and every
+// downstream decode loop stays tier-agnostic.  length_ is advanced by the
+// caller (step()).
+void InferenceEngine::Session::step_f32(TokenId token) {
+  const TransformerConfig& cfg = eng_.cfg_;
+  const int64_t d = cfg.d_model;
+  const float sqrt_d = std::sqrt(static_cast<float>(d));
+  std::vector<float>& x = xf_;
+  for (int64_t c = 0; c < d; ++c) {
+    x[static_cast<size_t>(c)] =
+        eng_.tgt_embed_f_(token, c) * sqrt_d + eng_.pos_f_(length_, c);
+  }
+
+  std::vector<float>& row = rowf_;
+  std::vector<float>& ctx = ctxf_;
+  std::vector<float>& out = outf_;
+  std::vector<float>& scores = scoresf_;
+  std::vector<float>& ff = fff_;
+  for (size_t l = 0; l < eng_.decoder_f_.size(); ++l) {
+    const DecoderLayerWeightsT<TensorF>& layer = eng_.decoder_f_[l];
+
+    project_row(x.data(), layer.self.wk, row.data());
+    self_kf_[l].insert(self_kf_[l].end(), row.begin(), row.end());
+    project_row(x.data(), layer.self.wv, row.data());
+    self_vf_[l].insert(self_vf_[l].end(), row.begin(), row.end());
+    project_row(x.data(), layer.self.wq, row.data());
+    attend_row(row.data(), self_kf_[l].data(), self_vf_[l].data(), length_ + 1,
+               d, eng_.d_head_, ctx.data(), scores);
+    project_row(ctx.data(), layer.self.wo, out.data());
+    add_bias_row(out.data(), layer.self.bo);
+    for (int64_t c = 0; c < d; ++c) x[static_cast<size_t>(c)] += out[static_cast<size_t>(c)];
+    layer_norm_row(x.data(), d, layer.norm1);
+
+    project_row(x.data(), layer.cross.wq, row.data());
+    attend_row(row.data(), cross_kf_[l].data().data(),
+               cross_vf_[l].data().data(), memory_f_.rows(), d, eng_.d_head_,
+               ctx.data(), scores);
+    project_row(ctx.data(), layer.cross.wo, out.data());
+    add_bias_row(out.data(), layer.cross.bo);
+    for (int64_t c = 0; c < d; ++c) x[static_cast<size_t>(c)] += out[static_cast<size_t>(c)];
+    layer_norm_row(x.data(), d, layer.norm2);
+
+    ff.resize(static_cast<size_t>(layer.ffn.w_in.cols()));
+    project_row(x.data(), layer.ffn.w_in, ff.data());
+    add_bias_row(ff.data(), layer.ffn.b_in);
+    for (float& v : ff) v = v > 0.0f ? v : 0.0f;
+    project_row(ff.data(), layer.ffn.w_out, out.data());
+    add_bias_row(out.data(), layer.ffn.b_out);
+    for (int64_t c = 0; c < d; ++c) x[static_cast<size_t>(c)] += out[static_cast<size_t>(c)];
+    layer_norm_row(x.data(), d, layer.norm3);
+  }
+
+  project_row(x.data(), eng_.out_w_f_, logitsf_.data());
+  add_bias_row(logitsf_.data(), eng_.out_b_f_);
+  for (int64_t c = 0; c < cfg.vocab_size; ++c) {
+    logits_(0, c) = static_cast<double>(logitsf_[static_cast<size_t>(c)]);
+  }
+}
+
 TokenId argmax_token(const Tensor& logits) {
   TokenId best = 0;
   double best_score = -1e300;
@@ -376,8 +576,9 @@ TokenId argmax_token(const Tensor& logits) {
 }
 
 std::vector<TokenId> InferenceEngine::greedy_decode(
-    const std::vector<TokenId>& src, int64_t max_len) const {
-  Session session(*this, src);
+    const std::vector<TokenId>& src, int64_t max_len,
+    Precision precision) const {
+  Session session(*this, src, precision);
   // Same step clamp as Transformer::greedy_decode: the decoder input at step
   // s holds s+1 tokens, so cfg_.max_len steps keep every position in range.
   const int64_t steps = std::min(max_len, cfg_.max_len);
@@ -394,7 +595,7 @@ std::vector<TokenId> InferenceEngine::greedy_decode(
 
 std::vector<std::vector<TokenId>> InferenceEngine::greedy_decode_batch(
     const std::vector<std::vector<TokenId>>& srcs, int64_t max_len,
-    par::ThreadPool& pool) const {
+    par::ThreadPool& pool, Precision precision) const {
   std::vector<std::vector<TokenId>> out(srcs.size());
   if (srcs.empty()) return out;
   if (max_len <= 0) {
@@ -403,11 +604,12 @@ std::vector<std::vector<TokenId>> InferenceEngine::greedy_decode_batch(
         "got " + std::to_string(max_len) +
         " (a zero token budget would silently decode nothing)");
   }
+  validated_precision(precision, "InferenceEngine::greedy_decode_batch");
   // Requests are independent and share only the immutable engine, so the
   // result is bit-identical for any pool size.
   pool.parallel_for(srcs.size(), [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
-      out[i] = greedy_decode(srcs[i], max_len);
+      out[i] = greedy_decode(srcs[i], max_len, precision);
     }
   });
   return out;
@@ -415,17 +617,17 @@ std::vector<std::vector<TokenId>> InferenceEngine::greedy_decode_batch(
 
 std::vector<std::vector<TokenId>> InferenceEngine::greedy_decode_batch(
     const std::vector<std::vector<TokenId>>& srcs, int64_t max_len,
-    int threads) const {
+    int threads, Precision precision) const {
   if (threads <= 0) {
     // Default path: the persistent process-wide pool, so back-to-back batch
     // calls reuse one set of workers instead of spawning a pool per call.
-    return greedy_decode_batch(srcs, max_len, par::global_pool());
+    return greedy_decode_batch(srcs, max_len, par::global_pool(), precision);
   }
   // Explicit worker count: a dedicated pool of that size, never larger than
   // the batch (a batch of one stays inline).
   par::ThreadPool pool(
       std::min(threads, static_cast<int>(std::max<size_t>(srcs.size(), 1))));
-  return greedy_decode_batch(srcs, max_len, pool);
+  return greedy_decode_batch(srcs, max_len, pool, precision);
 }
 
 }  // namespace ota::ml

@@ -29,6 +29,7 @@
 #include <memory>
 #include <vector>
 
+#include "ml/precision.hpp"
 #include "ml/transformer.hpp"
 
 namespace ota::par {
@@ -45,37 +46,52 @@ nlp::TokenId argmax_token(const Tensor& logits);
 
 /// One attention site with the head projections fused column-wise: column
 /// block [h*d_head, (h+1)*d_head) of wq/wk/wv is head h's projection.
-struct FusedAttentionWeights {
-  Tensor wq, wk, wv;  ///< (d_model, d_model)
-  Tensor wo;          ///< (d_model, d_model)
-  Tensor bo;          ///< (1, d_model)
+/// Templated on the tensor type so the double reference snapshot and the
+/// float32 fast-tier snapshot share one layout (TT = Tensor or TensorF).
+template <typename TT>
+struct FusedAttentionWeightsT {
+  TT wq, wk, wv;  ///< (d_model, d_model)
+  TT wo;          ///< (d_model, d_model)
+  TT bo;          ///< (1, d_model)
 };
+using FusedAttentionWeights = FusedAttentionWeightsT<Tensor>;
 
-struct FeedForwardWeights {
-  Tensor w_in, b_in;    ///< (d_model, d_ff), (1, d_ff)
-  Tensor w_out, b_out;  ///< (d_ff, d_model), (1, d_model)
+template <typename TT>
+struct FeedForwardWeightsT {
+  TT w_in, b_in;    ///< (d_model, d_ff), (1, d_ff)
+  TT w_out, b_out;  ///< (d_ff, d_model), (1, d_model)
 };
+using FeedForwardWeights = FeedForwardWeightsT<Tensor>;
 
-struct LayerNormWeights {
-  Tensor gamma, beta;  ///< (1, d_model)
+template <typename TT>
+struct LayerNormWeightsT {
+  TT gamma, beta;  ///< (1, d_model)
 };
+using LayerNormWeights = LayerNormWeightsT<Tensor>;
 
-struct EncoderLayerWeights {
-  FusedAttentionWeights self;
-  FeedForwardWeights ffn;
-  LayerNormWeights norm1, norm2;
+template <typename TT>
+struct EncoderLayerWeightsT {
+  FusedAttentionWeightsT<TT> self;
+  FeedForwardWeightsT<TT> ffn;
+  LayerNormWeightsT<TT> norm1, norm2;
 };
+using EncoderLayerWeights = EncoderLayerWeightsT<Tensor>;
 
-struct DecoderLayerWeights {
-  FusedAttentionWeights self, cross;
-  FeedForwardWeights ffn;
-  LayerNormWeights norm1, norm2, norm3;
+template <typename TT>
+struct DecoderLayerWeightsT {
+  FusedAttentionWeightsT<TT> self, cross;
+  FeedForwardWeightsT<TT> ffn;
+  LayerNormWeightsT<TT> norm1, norm2, norm3;
 };
+using DecoderLayerWeights = DecoderLayerWeightsT<Tensor>;
 
 class InferenceEngine {
  public:
-  /// Snapshots the model's weights.  The engine keeps no reference to the
-  /// Transformer; retraining or mutating it does not affect the engine.
+  /// Snapshots the model's weights — the double reference copy plus a
+  /// float32 mirror for the fast tier (taken in the same compile, so both
+  /// tiers are always available at decode time).  The engine keeps no
+  /// reference to the Transformer; retraining or mutating it does not
+  /// affect the engine.
   explicit InferenceEngine(const Transformer& model);
 
   const TransformerConfig& config() const { return cfg_; }
@@ -85,10 +101,20 @@ class InferenceEngine {
   /// longer than the positional table.
   Tensor encode(const std::vector<nlp::TokenId>& src) const;
 
-  /// Greedy decode, token-for-token identical to Transformer::greedy_decode
-  /// (max_len is clamped to config().max_len the same way).
-  std::vector<nlp::TokenId> greedy_decode(const std::vector<nlp::TokenId>& src,
-                                          int64_t max_len) const;
+  /// Float32-tier encoder memory: the same pass through the f32 weight
+  /// snapshot and SIMD kernels.  Exposed for the kernel-accuracy tests; the
+  /// decode paths reach it through Session's precision argument.
+  TensorF encode_f32(const std::vector<nlp::TokenId>& src) const;
+
+  /// Greedy decode.  At Precision::kDouble (the default) the output is
+  /// token-for-token identical to Transformer::greedy_decode (max_len is
+  /// clamped to config().max_len the same way).  Precision::kFloat32
+  /// decodes through the f32 snapshot — deterministic run to run, and
+  /// token-identical to the double tier on trained models (the agreement
+  /// property bench_infer_tier and the test suites gate on).
+  std::vector<nlp::TokenId> greedy_decode(
+      const std::vector<nlp::TokenId>& src, int64_t max_len,
+      Precision precision = Precision::kDouble) const;
 
   /// Decodes every request independently on a thread pool.  `threads` 0
   /// (the default) runs on the persistent process-wide pool
@@ -96,16 +122,18 @@ class InferenceEngine {
   /// first use); a positive count spawns a dedicated pool of that size for
   /// the call — the path the determinism-sweep tests rely on.  Results are
   /// positionally aligned with `srcs` and bit-identical for any thread
-  /// count, including 1.  Throws InvalidArgument when max_len <= 0 and the
-  /// batch is non-empty (decoding zero tokens is always a caller bug).
+  /// count, including 1 (at either precision tier).  Throws InvalidArgument
+  /// when max_len <= 0 and the batch is non-empty (decoding zero tokens is
+  /// always a caller bug).
   std::vector<std::vector<nlp::TokenId>> greedy_decode_batch(
       const std::vector<std::vector<nlp::TokenId>>& srcs, int64_t max_len,
-      int threads = 0) const;
+      int threads = 0, Precision precision = Precision::kDouble) const;
 
   /// As above, on a caller-owned pool (shared-pool call sites and tests).
   std::vector<std::vector<nlp::TokenId>> greedy_decode_batch(
       const std::vector<std::vector<nlp::TokenId>>& srcs, int64_t max_len,
-      par::ThreadPool& pool) const;
+      par::ThreadPool& pool,
+      Precision precision = Precision::kDouble) const;
 
   /// Incremental decoding state for one request: the encoder memory, the
   /// precomputed cross-attention K/V of every decoder layer, and the growing
@@ -114,7 +142,13 @@ class InferenceEngine {
   /// agreement) and for callers that need the logits, not just the argmax.
   class Session {
    public:
-    Session(const InferenceEngine& engine, const std::vector<nlp::TokenId>& src);
+    /// `precision` selects the numeric tier for this session's whole decode
+    /// (encode pass, KV caches, kernels).  The float32 tier's logits are
+    /// widened into the double row step() returns, which preserves the
+    /// argmax exactly (widening is monotone and tie-preserving), so every
+    /// downstream decode loop is tier-agnostic.
+    Session(const InferenceEngine& engine, const std::vector<nlp::TokenId>& src,
+            Precision precision = Precision::kDouble);
 
     /// Feeds `token` at the next position and returns the logits (1, vocab)
     /// for the following token.  Throws InvalidArgument once the decoder
@@ -124,9 +158,14 @@ class InferenceEngine {
     /// Number of tokens fed so far.
     int64_t length() const { return length_; }
 
+    Precision precision() const { return precision_; }
+
    private:
+    void step_f32(nlp::TokenId token);
+
     const InferenceEngine& eng_;
-    Tensor memory_;  ///< (L_src, d_model)
+    Precision precision_ = Precision::kDouble;
+    Tensor memory_;  ///< (L_src, d_model); double tier only
     /// Per decoder layer: cross-attention K/V (L_src, d_model), computed once.
     std::vector<Tensor> cross_k_, cross_v_;
     /// Per decoder layer: self-attention KV cache, row-major (length_ rows of
@@ -134,7 +173,13 @@ class InferenceEngine {
     std::vector<std::vector<double>> self_k_, self_v_;
     /// Scratch rows reused across steps (hot path: no per-token allocation).
     std::vector<double> x_, row_, ctx_, out_, scores_, ff_;
-    Tensor logits_;  ///< (1, vocab)
+    /// Float32-tier state, the exact mirror of the double members above.
+    /// Only one tier's state is ever allocated per session.
+    TensorF memory_f_;
+    std::vector<TensorF> cross_kf_, cross_vf_;
+    std::vector<std::vector<float>> self_kf_, self_vf_;
+    std::vector<float> xf_, rowf_, ctxf_, outf_, scoresf_, fff_, logitsf_;
+    Tensor logits_;  ///< (1, vocab); f32 steps widen into it
     int64_t length_ = 0;
   };
 
@@ -149,6 +194,13 @@ class InferenceEngine {
   std::vector<DecoderLayerWeights> decoder_;
   Tensor out_w_;  ///< (d_model, vocab)
   Tensor out_b_;  ///< (1, vocab)
+
+  /// Float32 mirror of the whole snapshot, for Precision::kFloat32 sessions:
+  /// half the memory traffic per decode step on the same fused layout.
+  TensorF src_embed_f_, tgt_embed_f_, pos_f_;
+  std::vector<EncoderLayerWeightsT<TensorF>> encoder_f_;
+  std::vector<DecoderLayerWeightsT<TensorF>> decoder_f_;
+  TensorF out_w_f_, out_b_f_;
 };
 
 }  // namespace ota::ml

@@ -42,25 +42,29 @@ constexpr int64_t kRowTile = 4;   ///< NN micro-kernel: C rows per step
 // C[ib:ie) += A[ib:ie, pb:pe) * B[pb:pe, :) with row-major leading
 // dimensions lda/ldb/ldc.  Four C rows move together: each streamed B row is
 // reused four times and the j loop is a set of independent lanes the
-// compiler vectorizes.
-void nn_panel(const double* a, int64_t lda, const double* b, int64_t ldb,
-              double* c, int64_t ldc, int64_t ib, int64_t ie, int64_t pb,
+// compiler vectorizes.  Templated on the scalar so the float32 inference
+// tier shares the exact kernel (and its fixed per-element accumulation
+// order); the double instantiation is the pre-existing reference code.
+template <typename T>
+void nn_panel(const T* a, int64_t lda, const T* b, int64_t ldb,
+              T* c, int64_t ldc, int64_t ib, int64_t ie, int64_t pb,
               int64_t pe, int64_t n) {
   int64_t i = ib;
   for (; i + kRowTile <= ie; i += kRowTile) {
-    const double* a0 = a + (i + 0) * lda;
-    const double* a1 = a + (i + 1) * lda;
-    const double* a2 = a + (i + 2) * lda;
-    const double* a3 = a + (i + 3) * lda;
-    double* c0 = c + (i + 0) * ldc;
-    double* c1 = c + (i + 1) * ldc;
-    double* c2 = c + (i + 2) * ldc;
-    double* c3 = c + (i + 3) * ldc;
+    const T* a0 = a + (i + 0) * lda;
+    const T* a1 = a + (i + 1) * lda;
+    const T* a2 = a + (i + 2) * lda;
+    const T* a3 = a + (i + 3) * lda;
+    T* c0 = c + (i + 0) * ldc;
+    T* c1 = c + (i + 1) * ldc;
+    T* c2 = c + (i + 2) * ldc;
+    T* c3 = c + (i + 3) * ldc;
     for (int64_t p = pb; p < pe; ++p) {
-      const double* bp = b + p * ldb;
-      const double av0 = a0[p], av1 = a1[p], av2 = a2[p], av3 = a3[p];
+      const T* bp = b + p * ldb;
+      const T av0 = a0[p], av1 = a1[p], av2 = a2[p], av3 = a3[p];
+#pragma omp simd
       for (int64_t j = 0; j < n; ++j) {
-        const double bv = bp[j];
+        const T bv = bp[j];
         c0[j] += av0 * bv;
         c1[j] += av1 * bv;
         c2[j] += av2 * bv;
@@ -69,18 +73,20 @@ void nn_panel(const double* a, int64_t lda, const double* b, int64_t ldb,
     }
   }
   for (; i < ie; ++i) {
-    const double* ai = a + i * lda;
-    double* ci = c + i * ldc;
+    const T* ai = a + i * lda;
+    T* ci = c + i * ldc;
     for (int64_t p = pb; p < pe; ++p) {
-      const double* bp = b + p * ldb;
-      const double av = ai[p];
+      const T* bp = b + p * ldb;
+      const T av = ai[p];
+#pragma omp simd
       for (int64_t j = 0; j < n; ++j) ci[j] += av * bp[j];
     }
   }
 }
 
 // C (m,n) += A (m,k) * B (k,n), both row-major.
-void nn_driver(const double* a, const double* b, double* c, int64_t m,
+template <typename T>
+void nn_driver(const T* a, const T* b, T* c, int64_t m,
                int64_t k, int64_t n) {
   for (int64_t pb = 0; pb < k; pb += kPanelK) {
     const int64_t pe = std::min(k, pb + kPanelK);
@@ -198,6 +204,17 @@ void gemm(const Tensor& a, const Tensor& b, Tensor& c) {
 
 void matmul_into(const Tensor& a, const Tensor& b, Tensor& c) {
   gemm<Mode::NN, false>(a, b, c);
+}
+void matmul_into(const TensorF& a, const TensorF& b, TensorF& c) {
+  if (a.cols() != b.rows()) {
+    throw InvalidArgument("matmul: inner dimension mismatch");
+  }
+  if (c.rows() != a.rows() || c.cols() != b.cols()) {
+    c = TensorF(a.rows(), b.cols());
+  }
+  c.zero();
+  nn_driver(a.data().data(), b.data().data(), c.data().data(), a.rows(),
+            a.cols(), b.cols());
 }
 void matmul_nt_into(const Tensor& a, const Tensor& b, Tensor& c) {
   gemm<Mode::NT, false>(a, b, c);

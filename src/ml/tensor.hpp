@@ -5,6 +5,7 @@
 // gradient checks tight and training deterministic across platforms.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -15,11 +16,16 @@ namespace ota::ml {
 
 class Tensor {
  public:
+  using value_type = double;
+
   Tensor() = default;
+  /// Validates BEFORE sizing the storage: a negative dimension used to reach
+  /// the vector constructor as a huge size_t (bad_alloc or worse) before the
+  /// shape check ever ran.
   Tensor(int64_t rows, int64_t cols, double init = 0.0)
-      : rows_(rows), cols_(cols),
-        data_(static_cast<size_t>(rows * cols), init) {
+      : rows_(rows), cols_(cols) {
     if (rows <= 0 || cols <= 0) throw InvalidArgument("Tensor: bad shape");
+    data_.assign(static_cast<size_t>(rows) * static_cast<size_t>(cols), init);
   }
 
   static Tensor vector(int64_t n, double init = 0.0) { return Tensor(1, n, init); }
@@ -58,8 +64,61 @@ class Tensor {
   std::vector<double> data_;
 };
 
+/// Float32 companion of Tensor for the inference engine's fast tier: same
+/// row-major 2-D layout, half the bytes per element.  It exists only as a
+/// weight/activation snapshot format on the decode path (training and the
+/// bit-identity reference stay double), so it carries none of Tensor's
+/// training-side helpers.
+class TensorF {
+ public:
+  using value_type = float;
+
+  TensorF() = default;
+  TensorF(int64_t rows, int64_t cols, float init = 0.0f)
+      : rows_(rows), cols_(cols) {
+    if (rows <= 0 || cols <= 0) throw InvalidArgument("TensorF: bad shape");
+    data_.assign(static_cast<size_t>(rows) * static_cast<size_t>(cols), init);
+  }
+
+  /// Narrowing snapshot of a double tensor (round-to-nearest per element).
+  static TensorF from(const Tensor& t) {
+    TensorF f(t.rows(), t.cols());
+    for (int64_t i = 0; i < t.size(); ++i) {
+      f.data_[static_cast<size_t>(i)] = static_cast<float>(t.at(i));
+    }
+    return f;
+  }
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t size() const { return rows_ * cols_; }
+
+  float& operator()(int64_t r, int64_t c) {
+    return data_[static_cast<size_t>(r * cols_ + c)];
+  }
+  float operator()(int64_t r, int64_t c) const {
+    return data_[static_cast<size_t>(r * cols_ + c)];
+  }
+  float& at(int64_t i) { return data_[static_cast<size_t>(i)]; }
+  float at(int64_t i) const { return data_[static_cast<size_t>(i)]; }
+
+  std::vector<float>& data() { return data_; }
+  const std::vector<float>& data() const { return data_; }
+
+  void zero() { std::fill(data_.begin(), data_.end(), 0.0f); }
+
+ private:
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+  std::vector<float> data_;
+};
+
 /// C = A * B (inner dimensions must agree).
 void matmul_into(const Tensor& a, const Tensor& b, Tensor& c);
+/// Float32 NN GEMM through the same cache-blocked/register-tiled kernel as
+/// the double path (templated on the scalar), for the inference engine's
+/// fast tier.  Serial per call and run-to-run bit-identical, like the rest.
+void matmul_into(const TensorF& a, const TensorF& b, TensorF& c);
 /// C = A * B^T.
 void matmul_nt_into(const Tensor& a, const Tensor& b, Tensor& c);
 /// C = A^T * B.

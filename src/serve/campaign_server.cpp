@@ -135,6 +135,7 @@ CampaignServer::CampaignServer(Options opt) : opt_(opt) {
         "CampaignServer: max_queue_depth must be >= 0 (0 = unbounded), got " +
         std::to_string(opt_.max_queue_depth));
   }
+  ml::validated_precision(opt_.decode_precision, "CampaignServer");
   const int n = par::resolve_threads(opt_.workers);
   workers_.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
@@ -148,10 +149,16 @@ void CampaignServer::register_topology(
     const std::string& name, circuit::Topology topology,
     const device::Technology& tech,
     std::shared_ptr<const core::SizingModel> model,
-    std::shared_ptr<const core::LutSet> luts) {
+    std::shared_ptr<const core::LutSet> luts,
+    std::optional<ml::Precision> precision) {
   if (!model || !luts) {
     throw InvalidArgument("CampaignServer::register_topology: null model/luts");
   }
+  // Resolve and validate the tier before reserving the name: a forged
+  // precision override must not leave a dangling reservation behind.
+  const ml::Precision tier = ml::validated_precision(
+      precision.value_or(opt_.decode_precision),
+      "CampaignServer::register_topology");
   // engine() doubles as the trained-model check (throws InvalidArgument
   // otherwise) and is what the decode scheduler batches on.
   const ml::InferenceEngine& engine = model->engine();
@@ -186,6 +193,7 @@ void CampaignServer::register_topology(
     ml::DecodeScheduler::Options sopt;
     sopt.max_batch = opt_.max_decode_batch;
     sopt.threads = opt_.scheduler_threads;
+    sopt.precision = tier;
     entry->scheduler = std::make_unique<ml::DecodeScheduler>(engine, sopt);
     entry->client = std::make_unique<ScheduledPredictionClient>(
         *entry->model, *entry->scheduler);
@@ -412,6 +420,8 @@ CampaignServer::Stats CampaignServer::stats() const {
     s.decode.cancelled += d.cancelled;
     s.decode.rounds += d.rounds;
     s.decode.session_steps += d.session_steps;
+    s.decode.tokens_double += d.tokens_double;
+    s.decode.tokens_f32 += d.tokens_f32;
     s.decode.peak_batch = std::max(s.decode.peak_batch, d.peak_batch);
   }
   return s;

@@ -42,6 +42,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -130,6 +131,11 @@ class CampaignServer {
     /// Block policy only: longest submit() waits for queue space before
     /// throwing ota::ServerOverloaded.  <= 0 = wait indefinitely.
     double block_timeout_seconds = 0.0;
+    /// Default numeric tier every topology's decode scheduler runs at
+    /// (ml::Precision::kDouble = the bit-identity reference, kFloat32 = the
+    /// agreement-gated SIMD serving tier).  register_topology can override
+    /// it per topology.  Validated at construction.
+    ml::Precision decode_precision = ml::Precision::kDouble;
   };
 
   CampaignServer();
@@ -145,13 +151,18 @@ class CampaignServer {
   /// Registers `model` (trained) under `name` and stands up its decode
   /// scheduler.  The server keeps its own Topology/Technology copies, so
   /// the caller's may go out of scope; `model` and `luts` are shared.
-  /// Throws InvalidArgument for an untrained model, a duplicate name, or a
-  /// shut-down server.  Safe to call while campaigns are in flight (new
-  /// submissions see the topology immediately).
+  /// Throws InvalidArgument for an untrained model, a duplicate name, an
+  /// invalid precision override, or a shut-down server.  Safe to call while
+  /// campaigns are in flight (new submissions see the topology immediately).
+  /// `precision` overrides Options::decode_precision for this topology's
+  /// scheduler (nullopt = the server-wide default), so a fleet can serve
+  /// float32 traffic while keeping one topology on the double reference
+  /// tier.
   void register_topology(const std::string& name, circuit::Topology topology,
                          const device::Technology& tech,
                          std::shared_ptr<const core::SizingModel> model,
-                         std::shared_ptr<const core::LutSet> luts);
+                         std::shared_ptr<const core::LutSet> luts,
+                         std::optional<ml::Precision> precision = std::nullopt);
 
   /// One submitted campaign.  Resolves exactly once.
   class Job {

@@ -182,6 +182,99 @@ TEST(InferenceEngine, SessionRefusesStepsPastTable) {
   EXPECT_THROW((void)session.step(tok), InvalidArgument);
 }
 
+// ---------------------------------------------------------------------------
+// Float32 tier
+
+TEST(InferenceEngine, F32GreedyAgreesWithDoubleOnTrainedModels) {
+  // The agreement gate the fast tier ships under: on trained models (sharp
+  // logit landscapes) the float32 tier's token streams must be identical to
+  // the double reference.  The untrained seed-21 model is deliberately
+  // absent — diffuse, near-tied logits are exactly where a narrowed tier may
+  // legitimately pick a different argmax, and nothing serves untrained
+  // models.
+  struct Case {
+    uint64_t seed;
+    int epochs;
+  };
+  for (const Case& c : {Case{5, 60}, Case{9, 110}, Case{13, 25}}) {
+    const Transformer& model = trained_model(c.seed, c.epochs);
+    const InferenceEngine engine(model);
+    for (const auto& src : probe_sources()) {
+      EXPECT_EQ(engine.greedy_decode(src, 16, Precision::kFloat32),
+                engine.greedy_decode(src, 16, Precision::kDouble))
+          << "seed " << c.seed << " epochs " << c.epochs;
+    }
+  }
+}
+
+TEST(InferenceEngine, F32LogitsTrackDoubleWithinFloatTolerance) {
+  // Kernel-level accuracy bound: along the double tier's greedy path, the
+  // f32 session's widened logits must track the double logits to float
+  // precision (relative, compounding across 2 layers of norms and attention).
+  const Transformer& model = trained_model(5, 60);
+  const InferenceEngine engine(model);
+  for (const auto& src : probe_sources()) {
+    InferenceEngine::Session ref(engine, src, Precision::kDouble);
+    InferenceEngine::Session fast(engine, src, Precision::kFloat32);
+    EXPECT_EQ(fast.precision(), Precision::kFloat32);
+    TokenId prev = Vocabulary::kBos;
+    for (int step = 0; step < 8; ++step) {
+      const Tensor& want = ref.step(prev);
+      const Tensor& got = fast.step(prev);
+      ASSERT_EQ(got.cols(), want.cols());
+      for (int64_t c = 0; c < want.cols(); ++c) {
+        const double scale = std::max(1.0, std::abs(want(0, c)));
+        ASSERT_NEAR(got(0, c), want(0, c), 1e-3 * scale)
+            << "step " << step << " column " << c;
+      }
+      prev = argmax_token(want);
+    }
+  }
+}
+
+TEST(InferenceEngine, F32EncodeTracksDoubleEncode) {
+  const Transformer& model = trained_model(9, 110);
+  const InferenceEngine engine(model);
+  for (const auto& src : probe_sources()) {
+    const Tensor want = engine.encode(src);
+    const TensorF got = engine.encode_f32(src);
+    ASSERT_EQ(got.rows(), want.rows());
+    ASSERT_EQ(got.cols(), want.cols());
+    for (int64_t i = 0; i < want.size(); ++i) {
+      const double scale = std::max(1.0, std::abs(want.at(i)));
+      ASSERT_NEAR(static_cast<double>(got.at(i)), want.at(i), 1e-3 * scale)
+          << "flat index " << i;
+    }
+  }
+}
+
+TEST(InferenceEngine, F32BatchBitIdenticalAcrossThreadCounts) {
+  // Same determinism property the double tier holds: the f32 batch result
+  // must not depend on pool width (sessions are private, kernels serial).
+  const Transformer& model = trained_model(5, 60);
+  const InferenceEngine engine(model);
+  const auto& srcs = probe_sources();
+  const auto serial =
+      engine.greedy_decode_batch(srcs, 16, /*threads=*/1, Precision::kFloat32);
+  const auto wide =
+      engine.greedy_decode_batch(srcs, 16, /*threads=*/8, Precision::kFloat32);
+  ASSERT_EQ(serial.size(), srcs.size());
+  EXPECT_EQ(serial, wide);
+}
+
+TEST(InferenceEngine, ForgedPrecisionIsRefused) {
+  // An out-of-range Precision (static_cast from a config knob) must be
+  // refused at the door — session construction and the batch entry point —
+  // not silently treated as one of the tiers.
+  const Transformer& model = trained_model(5, 60);
+  const InferenceEngine engine(model);
+  const auto forged = static_cast<Precision>(7);
+  EXPECT_THROW(InferenceEngine::Session(engine, {4, 5}, forged),
+               InvalidArgument);
+  EXPECT_THROW((void)engine.greedy_decode_batch({{4, 5}}, 8, 1, forged),
+               InvalidArgument);
+}
+
 }  // namespace
 }  // namespace ota::ml
 
@@ -225,6 +318,29 @@ TEST(SizingModelInfer, PredictBatchBitIdenticalAcrossThreadCounts) {
   for (const auto& t : texts) serial.push_back(model.predict(t, 64));
   EXPECT_EQ(model.predict_batch(texts, 64, /*threads=*/1), serial);
   EXPECT_EQ(model.predict_batch(texts, 64, /*threads=*/8), serial);
+}
+
+TEST(SizingModelInfer, PredictBatchPrecisionOverload) {
+  // The 4-arg overload at kDouble IS the 3-arg path (bit-identical); the
+  // kFloat32 tier must be deterministic for any thread count.  Token-level
+  // agreement between the tiers is asserted on well-trained models (the ml
+  // section above, the DeterminismTest serving suite, bench_infer_tier) —
+  // this 2-epoch text model only owes tier determinism.
+  const SizingModel& model = trained_sizing_model();
+  std::vector<std::string> texts;
+  for (int i = 0; i < 4; ++i) {
+    texts.push_back("gain=" + std::to_string(42 + i) +
+                    " bw=" + std::to_string(13 + i));
+  }
+  EXPECT_EQ(model.predict_batch(texts, 64, 1, ml::Precision::kDouble),
+            model.predict_batch(texts, 64, 1));
+  const auto f32_serial =
+      model.predict_batch(texts, 64, 1, ml::Precision::kFloat32);
+  EXPECT_EQ(model.predict_batch(texts, 64, 8, ml::Precision::kFloat32),
+            f32_serial);
+  EXPECT_THROW((void)model.predict_batch(texts, 64, 1,
+                                         static_cast<ml::Precision>(3)),
+               InvalidArgument);
 }
 
 TEST(SizingModelInfer, PredictBatchEmptyInputReturnsEmpty) {

@@ -254,6 +254,141 @@ TEST_F(DeterminismTest, SchedulerDrainlessShutdownAnswersEveryRequest) {
 }
 
 // ---------------------------------------------------------------------------
+// Float32 decode tier through the serving stack
+
+TEST_F(DeterminismTest, SchedulerF32TierAgreesAcrossThreadsAndBatches) {
+  // The float32 tier under the same determinism matrix as the double tier:
+  // for 1/3/8 scheduler threads, shuffled concurrent arrival, and forced
+  // queueing (max_batch < requests), every ticket must be bit-identical to
+  // the engine's serial f32 greedy_decode — and, on this trained model, the
+  // f32 stream must agree token-for-token with the double reference (the
+  // tier's shipping gate).  Per-tier counters must attribute every step.
+  const ml::InferenceEngine& engine = model().engine();
+  const auto targets = campaign_targets(8);
+
+  std::vector<std::vector<TokenId>> srcs;
+  std::vector<std::vector<TokenId>> reference;
+  for (const auto& t : targets) {
+    srcs.push_back(model().tokenizer().encode(builder_->encoder_text(t)));
+    reference.push_back(
+        engine.greedy_decode(srcs.back(), 96, ml::Precision::kFloat32));
+    EXPECT_EQ(reference.back(),
+              engine.greedy_decode(srcs.back(), 96, ml::Precision::kDouble))
+        << "f32/double token divergence on trained model, request "
+        << reference.size() - 1;
+  }
+
+  for (int threads : {1, 3, 8}) {
+    ml::DecodeScheduler::Options opt;
+    opt.max_batch = 4;
+    opt.threads = threads;
+    opt.precision = ml::Precision::kFloat32;
+    ml::DecodeScheduler scheduler(engine, opt);
+
+    std::vector<size_t> order(srcs.size());
+    std::iota(order.begin(), order.end(), size_t{0});
+    std::mt19937 shuffle_rng(3000 + static_cast<unsigned>(threads));
+    std::shuffle(order.begin(), order.end(), shuffle_rng);
+
+    std::vector<std::shared_ptr<ml::DecodeScheduler::Ticket>> tickets(srcs.size());
+    std::vector<std::thread> submitters;
+    for (int s = 0; s < 2; ++s) {
+      submitters.emplace_back([&, s] {
+        for (size_t i = static_cast<size_t>(s); i < order.size(); i += 2) {
+          tickets[order[i]] = scheduler.submit(srcs[order[i]], 96);
+        }
+      });
+    }
+    for (auto& t : submitters) t.join();
+
+    for (size_t i = 0; i < srcs.size(); ++i) {
+      EXPECT_EQ(tickets[i]->wait(), reference[i])
+          << "request " << i << " threads " << threads;
+    }
+    const auto stats = scheduler.stats();
+    EXPECT_EQ(stats.served, srcs.size());
+    EXPECT_EQ(stats.tokens_double, 0u);
+    EXPECT_GT(stats.tokens_f32, 0u);
+    EXPECT_EQ(stats.tokens_f32 + stats.tokens_double, stats.session_steps);
+  }
+}
+
+TEST_F(DeterminismTest, SchedulerDoubleTierAttributesTokensToDoubleCounter) {
+  ml::DecodeScheduler scheduler(model().engine());  // default tier: double
+  const auto src = model().tokenizer().encode(
+      builder_->encoder_text(campaign_targets(1)[0]));
+  (void)scheduler.submit(src, 32)->wait();
+  const auto stats = scheduler.stats();
+  EXPECT_GT(stats.tokens_double, 0u);
+  EXPECT_EQ(stats.tokens_f32, 0u);
+  EXPECT_EQ(stats.tokens_double, stats.session_steps);
+}
+
+TEST_F(DeterminismTest, CampaignServerF32TopologyMatchesF32SerialCopilot) {
+  // A topology registered on the float32 tier must serve campaigns
+  // bit-identical to the serial copilot driven by a float32
+  // SerialPredictionClient — the same WHAT-not-WHEN contract as the double
+  // path, one tier down.  Stats must attribute every decode step to f32.
+  const auto targets = campaign_targets(4);
+  const auto opt = campaign_options();
+
+  std::vector<core::SizingOutcome> reference;
+  {
+    core::SizingCopilot copilot(*topo_, *tech_, *builder_, model(), *luts_);
+    core::SerialPredictionClient f32_client(model(), ml::Precision::kFloat32);
+    for (const auto& t : targets) {
+      reference.push_back(copilot.size(t, opt, f32_client));
+    }
+  }
+
+  CampaignServer::Options sopt;
+  sopt.workers = 4;
+  sopt.max_decode_batch = 4;
+  CampaignServer server(sopt);  // server default stays double...
+  server.register_topology("5T-OTA", *topo_, *tech_, *model_, luts_,
+                           ml::Precision::kFloat32);  // ...this topology: f32
+
+  std::vector<std::shared_ptr<CampaignServer::Job>> jobs;
+  for (const auto& t : targets) jobs.push_back(server.submit({"5T-OTA", t, opt}));
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    const CampaignResult& res = jobs[i]->wait();
+    ASSERT_EQ(res.status, CampaignStatus::Served)
+        << "campaign " << i << ": " << res.error;
+    expect_same_outcome(res.outcome, reference[i]);
+  }
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.served, targets.size());
+  EXPECT_EQ(stats.decode.tokens_double, 0u);
+  EXPECT_GT(stats.decode.tokens_f32, 0u);
+}
+
+TEST_F(DeterminismTest, ForgedPrecisionIsRefusedAtEveryDoor) {
+  // An out-of-range Precision forged with a static_cast must be refused at
+  // construction/registration, before any thread is spawned — scheduler
+  // options, server options, and the per-topology override alike.
+  const auto forged = static_cast<ml::Precision>(5);
+
+  ml::DecodeScheduler::Options dopt;
+  dopt.precision = forged;
+  EXPECT_THROW(ml::DecodeScheduler(model().engine(), dopt), InvalidArgument);
+
+  CampaignServer::Options sopt;
+  sopt.decode_precision = forged;
+  EXPECT_THROW(CampaignServer{sopt}, InvalidArgument);
+
+  EXPECT_THROW(core::SerialPredictionClient(model(), forged), InvalidArgument);
+
+  CampaignServer server;
+  EXPECT_THROW(server.register_topology("5T-OTA", *topo_, *tech_, *model_,
+                                        luts_, forged),
+               InvalidArgument);
+  // The failed registration must release its name reservation: the same
+  // name registers cleanly at a valid tier afterwards.
+  server.register_topology("5T-OTA", *topo_, *tech_, *model_, luts_,
+                           ml::Precision::kFloat32);
+}
+
+// ---------------------------------------------------------------------------
 // CampaignServer
 
 TEST_F(DeterminismTest, CampaignServerBitIdenticalToSerialCopilot) {

@@ -165,5 +165,71 @@ TEST(TensorTest, ShapeMismatchesThrow) {
   EXPECT_THROW(matmul_acc(a, ok_b, bad), InvalidArgument);
 }
 
+// Regression: the shape check must run BEFORE the storage is sized.  A
+// negative dimension used to reach std::vector's fill constructor as a huge
+// size_t (rows * cols wraps), so the constructor died in the allocator
+// instead of throwing InvalidArgument.
+TEST(TensorTest, NegativeDimensionsThrowBeforeAllocating) {
+  EXPECT_THROW(Tensor(-1, 4), InvalidArgument);
+  EXPECT_THROW(Tensor(4, -1), InvalidArgument);
+  EXPECT_THROW(Tensor(-3, -7), InvalidArgument);
+  EXPECT_THROW(Tensor(0, 5), InvalidArgument);
+  EXPECT_THROW(TensorF(-1, 4), InvalidArgument);
+  EXPECT_THROW(TensorF(4, -1), InvalidArgument);
+  EXPECT_THROW(TensorF(0, 0), InvalidArgument);
+}
+
+TEST(TensorFTest, FromNarrowsEveryElementRoundToNearest) {
+  Rng rng(109);
+  const Tensor t = random_tensor(7, 13, rng);
+  const TensorF f = TensorF::from(t);
+  ASSERT_EQ(f.rows(), t.rows());
+  ASSERT_EQ(f.cols(), t.cols());
+  for (int64_t i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(f.at(i), static_cast<float>(t.at(i))) << "flat index " << i;
+  }
+}
+
+// The float32 NN GEMM runs the same cache-blocked kernel as the double path;
+// it only owes float-scale accuracy (vs a double reference computed on the
+// narrowed inputs) and run-to-run bit identity.
+TEST(TensorFTest, MatmulMatchesDoubleReferenceAtFloatScale) {
+  Rng rng(113);
+  for (const Shape& s : kShapes) {
+    const Tensor a64 = random_tensor(s.m, s.k, rng);
+    const Tensor b64 = random_tensor(s.k, s.n, rng);
+    const TensorF a = TensorF::from(a64);
+    const TensorF b = TensorF::from(b64);
+    // Reference: double accumulation over the SAME float32 inputs, so the
+    // tolerance covers only the f32 kernel's accumulation error, not the
+    // narrowing of the operands.
+    Tensor want(s.m, s.n);
+    for (int64_t i = 0; i < s.m; ++i) {
+      for (int64_t j = 0; j < s.n; ++j) {
+        double acc = 0.0;
+        for (int64_t p = 0; p < s.k; ++p) {
+          acc += static_cast<double>(a(i, p)) * static_cast<double>(b(p, j));
+        }
+        want(i, j) = acc;
+      }
+    }
+    TensorF c;
+    matmul_into(a, b, c);
+    ASSERT_EQ(c.rows(), s.m);
+    ASSERT_EQ(c.cols(), s.n);
+    const double tol = 1e-6 * static_cast<double>(s.k + 1);
+    for (int64_t i = 0; i < c.size(); ++i) {
+      const double scale = std::max(1.0, std::abs(want.at(i)));
+      EXPECT_NEAR(static_cast<double>(c.at(i)), want.at(i), tol * scale)
+          << "f32 NN at flat index " << i << " (m=" << s.m << " k=" << s.k
+          << " n=" << s.n << ")";
+    }
+
+    TensorF c2;
+    matmul_into(a, b, c2);
+    EXPECT_EQ(c.data(), c2.data()) << "f32 NN not run-to-run bit-identical";
+  }
+}
+
 }  // namespace
 }  // namespace ota::ml
