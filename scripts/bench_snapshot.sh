@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Captures the perf-trajectory snapshots: BENCH_train.json + BENCH_ac.json +
-# BENCH_campaign.json + BENCH_infer.json.
+# BENCH_campaign.json + BENCH_infer.json + BENCH_fault.json.
 #
 # Runs the bench_train_runtime sweep (1/2/4/8 training threads, bit-identity
 # gate), the bench_ac_sweep sweep (naive vs batched AC engine, bit-identity
@@ -8,7 +8,10 @@
 # campaigns vs the serial copilot, bit-identity + decode-batch-occupancy +
 # overload/admission-control gates), and the bench_infer_tier run (float32
 # SIMD decode tier vs the double reference: token agreement + determinism +
-# the 1.3x tokens/sec floor in non-smoke runs) from an existing build tree
+# the 1.3x tokens/sec floor in non-smoke runs), and the bench_fault_storm
+# run (three-layer fault storm + numerics degradation: exactly-once
+# accounting, bounded retry recovery, survivor bit-identity, serial-vs-server
+# fault-counter identity) from an existing build tree
 # and leaves the JSON files next to the
 # repo root so the perf trajectory accumulates data points across PRs.
 # CI uploads the same files as workflow artifacts from its smoke runs.
@@ -18,7 +21,7 @@
 #   OTA_BENCH_DIR    output directory for the JSON files (default .)
 #   OTA_SCALE        tiny|small|paper, as for every bench (default small)
 #   OTA_TRAIN_SMOKE=1 / OTA_AC_SMOKE=1 / OTA_CAMPAIGN_SMOKE=1 /
-#   OTA_INFER_TIER_SMOKE=1 for the quick smoke sweeps
+#   OTA_INFER_TIER_SMOKE=1 / OTA_FAULT_SMOKE=1 for the quick smoke sweeps
 set -euo pipefail
 
 build_dir=${1:-build}
@@ -26,7 +29,7 @@ out_dir=${OTA_BENCH_DIR:-.}
 mkdir -p "$out_dir"
 
 for bench in bench_train_runtime bench_ac_sweep bench_campaign_server \
-             bench_infer_tier; do
+             bench_infer_tier bench_fault_storm; do
   bin="$build_dir/bench/$bench"
   if [[ ! -x "$bin" ]]; then
     echo "error: $bin not built (cmake --build --preset release)" >&2
@@ -38,5 +41,7 @@ OTA_BENCH_JSON="$out_dir/BENCH_train.json" "$build_dir/bench/bench_train_runtime
 OTA_BENCH_JSON="$out_dir/BENCH_ac.json" "$build_dir/bench/bench_ac_sweep"
 OTA_BENCH_JSON="$out_dir/BENCH_campaign.json" "$build_dir/bench/bench_campaign_server"
 OTA_BENCH_JSON="$out_dir/BENCH_infer.json" "$build_dir/bench/bench_infer_tier"
+OTA_BENCH_JSON="$out_dir/BENCH_fault.json" "$build_dir/bench/bench_fault_storm"
 echo "snapshots: $out_dir/BENCH_train.json $out_dir/BENCH_ac.json" \
-     "$out_dir/BENCH_campaign.json $out_dir/BENCH_infer.json"
+     "$out_dir/BENCH_campaign.json $out_dir/BENCH_infer.json" \
+     "$out_dir/BENCH_fault.json"

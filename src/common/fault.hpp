@@ -1,0 +1,139 @@
+// Deterministic fault injection for robustness testing.
+//
+// A fault SITE is a named point in library code where an error can be
+// injected on demand: `FAULT_SITE("serve.worker.campaign")` throws
+// ota::fault::InjectedFault when the active spec says that site fires, and
+// `FAULT_SITE_AS("spice.dc.newton", ConvergenceError)` throws the exception
+// type the surrounding recovery path actually handles.  With no spec
+// installed, a site is one relaxed atomic load and a predicted-not-taken
+// branch — cheap enough to leave in the hottest production paths.
+//
+// Whether a site fires is a pure function of (site, hit index): every pass
+// through a site increments its atomic hit counter, and the spec's rule for
+// that site decides from the hit index alone.
+//
+//   once=N       fires exactly at the N-th hit (1-based)
+//   every=N      fires at hits N, 2N, 3N, ...
+//   prob=P[@S]   fires at hit k iff u01(stream_seed(S, k)) < P — a counted
+//                SplitMix64 stream per site, as the parallel RNG contract
+//                in common/rng.hpp
+//
+// Because the decision depends only on the hit index — never on thread
+// identity, timing, or interleaving — the SET of firing hit-indices is
+// bit-identical for any thread count.  (Which thread observes a given hit
+// index is still a race; deterministic tests arrange for hit order to be
+// deterministic, e.g. by injecting into serially-ordered work.)
+//
+// Specs come from the OTA_FAULTS environment variable
+// (`site:mode;site:mode;...`, e.g.
+// `OTA_FAULTS="spice.dc.newton:every=7;serve.worker.campaign:once=3"`) or
+// programmatically via install_spec() / ScopedFaults, which override the
+// environment.  Installing a spec resets all hit counters; stats() reports
+// per-site hit/fired counts for the active spec.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/error.hpp"
+
+namespace ota::fault {
+
+/// The error FAULT_SITE throws when its site fires.  Derives from ota::Error
+/// (not from any recoverable subtype) so untyped sites model *permanent*
+/// faults; use FAULT_SITE_AS to inject a specific recoverable type instead.
+class InjectedFault : public Error {
+ public:
+  InjectedFault(std::string site, const std::string& what)
+      : Error(what), site_(std::move(site)) {}
+  /// The site name the fault was injected at, e.g. "serve.worker.campaign".
+  const std::string& site() const { return site_; }
+
+ private:
+  std::string site_;
+};
+
+namespace detail {
+/// True iff a spec may be active (set by install_spec, or at static
+/// initialization when OTA_FAULTS is present in the environment).  Kept in a
+/// header-visible extern atomic so enabled() inlines to one load.
+extern std::atomic<bool> g_enabled;
+}  // namespace detail
+
+/// The whole fault subsystem's hot-path gate: false means no site can fire
+/// and FAULT_SITE does no further work.
+inline bool enabled() noexcept {
+  return detail::g_enabled.load(std::memory_order_acquire);
+}
+
+/// Records one hit at `site` against the active spec and decides whether it
+/// fires.  Returns the 1-based hit index when it fires, nullopt otherwise
+/// (including when no spec mentions the site).  Thread-safe; the decision is
+/// a pure function of (site, returned hit index).
+std::optional<uint64_t> should_fire(std::string_view site);
+
+/// The message injected faults carry: names the site and the hit index so a
+/// failure surfaced far away (a CampaignResult::error, a test log) is
+/// traceable to its injection point.
+std::string fault_message(std::string_view site, uint64_t hit);
+
+/// Installs a fault spec (`site:mode;...` — see the file comment for the
+/// grammar), replacing any active spec and resetting all hit counters.  An
+/// empty spec disables injection.  Programmatic installs override the
+/// OTA_FAULTS environment.  Throws InvalidArgument on a malformed spec (the
+/// active spec is left unchanged).  Thread-safe, but installing while sites
+/// are being hit concurrently leaves hit counts split across the old and new
+/// spec — install between workloads for deterministic counting.
+void install_spec(const std::string& spec);
+
+/// Disables fault injection (equivalent to install_spec("")).
+void clear();
+
+/// Per-site counters of the active spec since it was installed.
+struct SiteStats {
+  uint64_t hits = 0;   ///< times the site was reached with this spec active
+  uint64_t fired = 0;  ///< times it actually threw
+};
+
+/// Snapshot of every site named by the active spec (empty when disabled).
+std::map<std::string, SiteStats> stats();
+
+/// RAII spec install for tests: installs on construction, clears on
+/// destruction so a throwing test cannot leak faults into the next one.
+class ScopedFaults {
+ public:
+  explicit ScopedFaults(const std::string& spec) { install_spec(spec); }
+  ~ScopedFaults() { clear(); }
+  ScopedFaults(const ScopedFaults&) = delete;
+  ScopedFaults& operator=(const ScopedFaults&) = delete;
+};
+
+}  // namespace ota::fault
+
+/// Injection point throwing ota::fault::InjectedFault (a permanent fault).
+#define FAULT_SITE(site_name)                                                  \
+  do {                                                                         \
+    if (::ota::fault::enabled()) {                                             \
+      if (auto _ota_fault_hit = ::ota::fault::should_fire(site_name)) {        \
+        throw ::ota::fault::InjectedFault(                                     \
+            site_name, ::ota::fault::fault_message(site_name, *_ota_fault_hit)); \
+      }                                                                        \
+    }                                                                          \
+  } while (0)
+
+/// Injection point throwing a caller-chosen exception type (one constructible
+/// from std::string), so a site can model the transient error its recovery
+/// path really sees — e.g. FAULT_SITE_AS("spice.dc.newton", ConvergenceError).
+#define FAULT_SITE_AS(site_name, exception_type)                               \
+  do {                                                                         \
+    if (::ota::fault::enabled()) {                                             \
+      if (auto _ota_fault_hit = ::ota::fault::should_fire(site_name)) {        \
+        throw exception_type(                                                  \
+            ::ota::fault::fault_message(site_name, *_ota_fault_hit));          \
+      }                                                                        \
+    }                                                                          \
+  } while (0)

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/fault.hpp"
 
 namespace ota::core {
 
@@ -115,6 +116,11 @@ SizingOutcome SizingCopilot::size(const Specs& target,
       // verification), so from this campaign's view it is submit-then-wait;
       // under a server the submit lands in the shared continuous-batching
       // scheduler where it coalesces with other campaigns' decodes.
+      //
+      // Injectable transient failure: unlike a Stage-IV ConvergenceError
+      // (absorbed below as a hard miss), one thrown here escapes size() —
+      // the path the campaign server's bounded retry policy recovers.
+      FAULT_SITE_AS("core.predict.submit", ConvergenceError);
       const std::string predicted_text =
           stage2
               .submit(builder_.encoder_text(request), opt.max_decode_tokens,

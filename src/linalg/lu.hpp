@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/fault.hpp"
 #include "linalg/matrix.hpp"
 
 namespace ota::linalg {
@@ -122,6 +123,10 @@ class LuDecomposition {
 
  private:
   void factor_in_place(double singular_tol) {
+    // Injectable singularity: lets robustness tests exercise every caller's
+    // ConvergenceError recovery path (gmin ladder, AC sweep, copilot retry)
+    // without having to construct a numerically singular system.
+    FAULT_SITE_AS("linalg.lu.factor", ConvergenceError);
     const size_t n = lu_.rows();
     if (lu_.cols() != n) throw InvalidArgument("LU: matrix must be square");
     perm_.resize(n);

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/fault.hpp"
 #include "par/thread_pool.hpp"
 
 namespace ota::ml {
@@ -62,6 +63,14 @@ const std::vector<TokenId>& DecodeScheduler::Ticket::wait() {
       throw Cancelled(e.what());
     } catch (const InvalidArgument& e) {
       throw InvalidArgument(e.what());
+    } catch (const fault::InjectedFault& e) {
+      // Most-derived subtypes first, so the copy preserves the dynamic type:
+      // the campaign server classifies a ticket's failure (transient
+      // ConvergenceError => retry; InjectedFault carries its site) from
+      // exactly what this rethrows.
+      throw fault::InjectedFault(e.site(), e.what());
+    } catch (const ConvergenceError& e) {
+      throw ConvergenceError(e.what());
     } catch (const Error& e) {
       throw Error(e.what());
     }
@@ -165,197 +174,250 @@ void DecodeScheduler::loop() {
   std::vector<ActiveRequest> active;
   std::vector<std::shared_ptr<Ticket>> admitted;
   for (;;) {
-    bool cancel_everything = false;
-    {
-      std::unique_lock<std::mutex> lk(mu_);
-      // Only sleep when the batch is empty: with live sessions the loop keeps
-      // stepping and just soaks up whatever new arrivals are pending.
-      if (active.empty()) {
-        cv_.wait(lk, [this] { return stop_ || !pending_.empty(); });
-      }
-      if (stop_ && !drain_) {
-        // Drainless shutdown: answer every queued request right here so no
-        // waiter blocks forever; in-flight sessions are answered below.
-        for (const auto& t : pending_) {
-          t->error = std::make_exception_ptr(
-              Cancelled("DecodeScheduler: request cancelled by shutdown"));
-          ++stats_.cancelled;
-          publish(t);
-        }
-        pending_.clear();
-        cancel_everything = true;
-      } else if (stop_ && pending_.empty() && active.empty()) {
-        break;  // drained
-      } else {
-        // Cancellation sweep over the wait queue: a cancelled or expired
-        // request resolves right here and never occupies a batch slot it
-        // could not use.
-        const auto now = std::chrono::steady_clock::now();
-        for (auto it = pending_.begin(); it != pending_.end();) {
-          if ((*it)->cancel_requested() || (*it)->expired(now)) {
-            (*it)->error = std::make_exception_ptr(Cancelled(
-                (*it)->cancel_requested()
-                    ? "DecodeScheduler: request cancelled before decoding"
-                    : "DecodeScheduler: request deadline exceeded before "
-                      "decoding"));
-            ++stats_.cancelled;
-            publish(*it);
-            it = pending_.erase(it);
-          } else {
-            ++it;
-          }
-        }
-        // Continuous admission: arrivals join the running batch up to
-        // max_batch; the rest queue until sequences retire.
-        while (!pending_.empty() &&
-               active.size() + admitted.size() <
-                   static_cast<size_t>(opt_.max_batch)) {
-          admitted.push_back(std::move(pending_.front()));
-          pending_.pop_front();
-        }
-      }
+    try {
+      if (!run_round(active, admitted)) return;
+    } catch (...) {
+      // Round-level containment: a failure escaping the per-ticket handlers
+      // inside run_round (batch machinery, an injected round fault) fails
+      // the tickets that round was carrying — never the scheduler thread.
+      // Requests submitted afterwards decode normally.
+      fail_round(active, admitted, std::current_exception());
     }
-    if (cancel_everything) {
-      std::lock_guard<std::mutex> lk(mu_);
-      for (auto& a : active) {
-        a.ticket->error = std::make_exception_ptr(
+  }
+}
+
+void DecodeScheduler::fail_round(std::vector<ActiveRequest>& active,
+                                 std::vector<std::shared_ptr<Ticket>>& admitted,
+                                 const std::exception_ptr& err) {
+  uint64_t failed = 0, cancelled = 0;
+  // Tickets admitted but not yet promoted to sessions (moved-from slots are
+  // null; a ticket already resolved by the admission path is done).
+  for (auto& t : admitted) {
+    if (t && !t->done()) {
+      t->error = err;
+      ++failed;
+      publish(t);
+    }
+  }
+  admitted.clear();
+  for (auto& a : active) {
+    if (!a.ticket || a.ticket->done()) continue;
+    if (!a.ticket->error) {
+      a.ticket->error = err;
+      ++failed;
+    } else if (a.cancelled) {
+      ++cancelled;  // the round's cancel sweep marked it before the failure
+    } else {
+      ++failed;  // a per-session error set pre-publication
+    }
+    publish(a.ticket);
+  }
+  active.clear();
+  std::lock_guard<std::mutex> lk(mu_);
+  stats_.failed += failed;
+  stats_.cancelled += cancelled;
+}
+
+bool DecodeScheduler::run_round(std::vector<ActiveRequest>& active,
+                                std::vector<std::shared_ptr<Ticket>>& admitted) {
+  bool cancel_everything = false;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    // Only sleep when the batch is empty: with live sessions the loop keeps
+    // stepping and just soaks up whatever new arrivals are pending.
+    if (active.empty()) {
+      cv_.wait(lk, [this] { return stop_ || !pending_.empty(); });
+    }
+    if (stop_ && !drain_) {
+      // Drainless shutdown: answer every queued request right here so no
+      // waiter blocks forever; in-flight sessions are answered below.
+      for (const auto& t : pending_) {
+        t->error = std::make_exception_ptr(
             Cancelled("DecodeScheduler: request cancelled by shutdown"));
         ++stats_.cancelled;
-        publish(a.ticket);
+        publish(t);
       }
-      active.clear();
-      break;
-    }
-
-    // Session construction (the encode pass) runs outside the queue lock so
-    // submitters are never blocked behind it.  A request the engine refuses
-    // (empty input, over-long input) fails its ticket here; one cancelled
-    // between the sweep above and now resolves without paying the encode.
-    for (auto& t : admitted) {
-      ActiveRequest a;
-      a.ticket = std::move(t);
-      if (a.ticket->cancel_requested() ||
-          a.ticket->expired(std::chrono::steady_clock::now())) {
-        a.ticket->error = std::make_exception_ptr(Cancelled(
-            a.ticket->cancel_requested()
-                ? "DecodeScheduler: request cancelled before decoding"
-                : "DecodeScheduler: request deadline exceeded before "
-                  "decoding"));
-        {
-          std::lock_guard<std::mutex> lk(mu_);
+      pending_.clear();
+      cancel_everything = true;
+    } else if (stop_ && pending_.empty() && active.empty()) {
+      return false;  // drained
+    } else {
+      // Cancellation sweep over the wait queue: a cancelled or expired
+      // request resolves right here and never occupies a batch slot it
+      // could not use.
+      const auto now = std::chrono::steady_clock::now();
+      for (auto it = pending_.begin(); it != pending_.end();) {
+        if ((*it)->cancel_requested() || (*it)->expired(now)) {
+          (*it)->error = std::make_exception_ptr(Cancelled(
+              (*it)->cancel_requested()
+                  ? "DecodeScheduler: request cancelled before decoding"
+                  : "DecodeScheduler: request deadline exceeded before "
+                    "decoding"));
           ++stats_.cancelled;
+          publish(*it);
+          it = pending_.erase(it);
+        } else {
+          ++it;
         }
-        publish(a.ticket);
-        continue;
       }
+      // Continuous admission: arrivals join the running batch up to
+      // max_batch; the rest queue until sequences retire.
+      while (!pending_.empty() &&
+             active.size() + admitted.size() <
+                 static_cast<size_t>(opt_.max_batch)) {
+        admitted.push_back(std::move(pending_.front()));
+        pending_.pop_front();
+      }
+    }
+  }
+  if (cancel_everything) {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto& a : active) {
+      a.ticket->error = std::make_exception_ptr(
+          Cancelled("DecodeScheduler: request cancelled by shutdown"));
+      ++stats_.cancelled;
+      publish(a.ticket);
+    }
+    active.clear();
+    return false;
+  }
+
+  // Session construction (the encode pass) runs outside the queue lock so
+  // submitters are never blocked behind it.  A request the engine refuses
+  // (empty input, over-long input) fails its ticket here; one cancelled
+  // between the sweep above and now resolves without paying the encode.
+  for (auto& t : admitted) {
+    ActiveRequest a;
+    a.ticket = std::move(t);
+    if (a.ticket->cancel_requested() ||
+        a.ticket->expired(std::chrono::steady_clock::now())) {
+      a.ticket->error = std::make_exception_ptr(Cancelled(
+          a.ticket->cancel_requested()
+              ? "DecodeScheduler: request cancelled before decoding"
+              : "DecodeScheduler: request deadline exceeded before "
+                "decoding"));
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        ++stats_.cancelled;
+      }
+      publish(a.ticket);
+      continue;
+    }
+    try {
+      FAULT_SITE("ml.session.encode");
+      a.session = std::make_unique<InferenceEngine::Session>(
+          engine_, a.ticket->src, opt_.precision);
+      a.budget = std::min<int64_t>(a.ticket->max_tokens,
+                                   engine_.config().max_len);
+      active.push_back(std::move(a));
+    } catch (...) {
+      a.ticket->error = std::current_exception();
+      std::lock_guard<std::mutex> lk(mu_);
+      ++stats_.failed;
+      publish(a.ticket);
+    }
+  }
+  admitted.clear();
+  if (active.empty()) return true;
+
+  // Mid-flight cancellation: a live sequence whose ticket was cancelled
+  // (or whose deadline passed) retires from the dynamic batch before this
+  // round steps — its slot frees for the next admission and its waiters
+  // wake with Cancelled instead of paying for tokens nobody wants.
+  const auto round_now = std::chrono::steady_clock::now();
+  size_t retired_by_cancel = 0;
+  for (ActiveRequest& a : active) {
+    if (a.ticket->cancel_requested() || a.ticket->expired(round_now)) {
+      a.ticket->error = std::make_exception_ptr(Cancelled(
+          a.ticket->cancel_requested()
+              ? "DecodeScheduler: request cancelled mid-decode"
+              : "DecodeScheduler: request deadline exceeded mid-decode"));
+      a.finished = true;
+      a.cancelled = true;
+      ++retired_by_cancel;
+    }
+  }
+  const size_t batch = active.size() - retired_by_cancel;
+
+  // Injectable round failure: fires before the step fan-out, with the
+  // batch's tickets in flight, so it exercises loop()'s fail_round
+  // containment rather than any per-ticket handler.
+  FAULT_SITE("ml.scheduler.round");
+
+  // One continuous-batching round: every live session advances one token,
+  // fanned out across the pool.  Each worker touches only its own
+  // caller-indexed requests, so the per-request token stream is exactly
+  // greedy_decode's whatever the interleaving.
+  pool_.parallel_for(active.size(), [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      ActiveRequest& a = active[i];
+      if (a.finished) continue;  // cancelled above: do not step it
       try {
-        a.session = std::make_unique<InferenceEngine::Session>(
-            engine_, a.ticket->src, opt_.precision);
-        a.budget = std::min<int64_t>(a.ticket->max_tokens,
-                                     engine_.config().max_len);
-        active.push_back(std::move(a));
+        FAULT_SITE("ml.session.step");
+        const TokenId best = argmax_token(a.session->step(a.prev));
+        ++a.steps_done;
+        if (best == Vocabulary::kEos) {
+          a.finished = true;
+        } else {
+          // Pre-publication the ticket's token buffer belongs to the
+          // scheduler; waiters read it only after publish().
+          a.ticket->tokens.push_back(best);
+          a.prev = best;
+          if (a.steps_done >= a.budget) a.finished = true;
+        }
       } catch (...) {
         a.ticket->error = std::current_exception();
-        std::lock_guard<std::mutex> lk(mu_);
-        ++stats_.failed;
-        publish(a.ticket);
-      }
-    }
-    admitted.clear();
-    if (active.empty()) continue;
-
-    // Mid-flight cancellation: a live sequence whose ticket was cancelled
-    // (or whose deadline passed) retires from the dynamic batch before this
-    // round steps — its slot frees for the next admission and its waiters
-    // wake with Cancelled instead of paying for tokens nobody wants.
-    const auto round_now = std::chrono::steady_clock::now();
-    size_t retired_by_cancel = 0;
-    for (ActiveRequest& a : active) {
-      if (a.ticket->cancel_requested() || a.ticket->expired(round_now)) {
-        a.ticket->error = std::make_exception_ptr(Cancelled(
-            a.ticket->cancel_requested()
-                ? "DecodeScheduler: request cancelled mid-decode"
-                : "DecodeScheduler: request deadline exceeded mid-decode"));
         a.finished = true;
-        a.cancelled = true;
-        ++retired_by_cancel;
       }
     }
-    const size_t batch = active.size() - retired_by_cancel;
+  });
 
-    // One continuous-batching round: every live session advances one token,
-    // fanned out across the pool.  Each worker touches only its own
-    // caller-indexed requests, so the per-request token stream is exactly
-    // greedy_decode's whatever the interleaving.
-    pool_.parallel_for(active.size(), [&](size_t begin, size_t end) {
-      for (size_t i = begin; i < end; ++i) {
-        ActiveRequest& a = active[i];
-        if (a.finished) continue;  // cancelled above: do not step it
-        try {
-          const TokenId best = argmax_token(a.session->step(a.prev));
-          ++a.steps_done;
-          if (best == Vocabulary::kEos) {
-            a.finished = true;
-          } else {
-            // Pre-publication the ticket's token buffer belongs to the
-            // scheduler; waiters read it only after publish().
-            a.ticket->tokens.push_back(best);
-            a.prev = best;
-            if (a.steps_done >= a.budget) a.finished = true;
-          }
-        } catch (...) {
-          a.ticket->error = std::current_exception();
-          a.finished = true;
-        }
-      }
-    });
-
-    // Count the round before publishing any ticket: once a waiter's wait()
-    // returns, stats() must already include that request.
-    uint64_t served = 0, failed = 0, cancelled = 0;
-    for (const auto& a : active) {
-      if (!a.finished) continue;
-      if (a.cancelled) {
-        ++cancelled;
-      } else {
-        (a.ticket->error ? failed : served) += 1;
-      }
+  // Count the round before publishing any ticket: once a waiter's wait()
+  // returns, stats() must already include that request.
+  uint64_t served = 0, failed = 0, cancelled = 0;
+  for (const auto& a : active) {
+    if (!a.finished) continue;
+    if (a.cancelled) {
+      ++cancelled;
+    } else {
+      (a.ticket->error ? failed : served) += 1;
     }
-    {
-      std::lock_guard<std::mutex> lk(mu_);
-      if (batch > 0) {
-        // A round is only a round if at least one session stepped; a sweep
-        // that merely retired cancelled sequences must not dilute the
-        // occupancy figure of merit.
-        ++stats_.rounds;
-        stats_.session_steps += batch;
-        if (opt_.precision == Precision::kFloat32) {
-          stats_.tokens_f32 += batch;
-        } else {
-          stats_.tokens_double += batch;
-        }
-        stats_.peak_batch = std::max<uint64_t>(stats_.peak_batch, batch);
-      }
-      stats_.served += served;
-      stats_.failed += failed;
-      stats_.cancelled += cancelled;
-    }
-
-    // Retire finished sequences immediately — their slots free up for the
-    // next round's admissions; survivors keep their relative order.
-    size_t live = 0;
-    for (auto& a : active) {
-      if (a.finished) {
-        publish(a.ticket);
-      } else {
-        if (live != static_cast<size_t>(&a - active.data())) {
-          active[live] = std::move(a);
-        }
-        ++live;
-      }
-    }
-    active.resize(live);
   }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (batch > 0) {
+      // A round is only a round if at least one session stepped; a sweep
+      // that merely retired cancelled sequences must not dilute the
+      // occupancy figure of merit.
+      ++stats_.rounds;
+      stats_.session_steps += batch;
+      if (opt_.precision == Precision::kFloat32) {
+        stats_.tokens_f32 += batch;
+      } else {
+        stats_.tokens_double += batch;
+      }
+      stats_.peak_batch = std::max<uint64_t>(stats_.peak_batch, batch);
+    }
+    stats_.served += served;
+    stats_.failed += failed;
+    stats_.cancelled += cancelled;
+  }
+
+  // Retire finished sequences immediately — their slots free up for the
+  // next round's admissions; survivors keep their relative order.
+  size_t live = 0;
+  for (auto& a : active) {
+    if (a.finished) {
+      publish(a.ticket);
+    } else {
+      if (live != static_cast<size_t>(&a - active.data())) {
+        active[live] = std::move(a);
+      }
+      ++live;
+    }
+  }
+  active.resize(live);
+  return true;
 }
 
 }  // namespace ota::ml

@@ -173,6 +173,19 @@ class DecodeScheduler {
  private:
   struct ActiveRequest;
   void loop();
+  /// One scheduler round: sleep/admit/encode/step/retire.  Returns false
+  /// when the scheduler should exit (drained, or drainless shutdown).
+  /// Failures it does not contain itself (per-session errors resolve only
+  /// their own ticket inside) are contained by loop() via fail_round.
+  bool run_round(std::vector<ActiveRequest>& active,
+                 std::vector<std::shared_ptr<Ticket>>& admitted);
+  /// Round-level failure containment: resolves every unresolved ticket the
+  /// failed round was carrying as Failed with `err` (cancel-marked ones as
+  /// Cancelled) and clears the batch, so one poisoned round can never take
+  /// down the scheduler thread — later submissions decode normally.
+  void fail_round(std::vector<ActiveRequest>& active,
+                  std::vector<std::shared_ptr<Ticket>>& admitted,
+                  const std::exception_ptr& err);
   static void publish(const std::shared_ptr<Ticket>& ticket);
 
   const InferenceEngine& engine_;

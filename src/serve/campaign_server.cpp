@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/fault.hpp"
 #include "par/thread_pool.hpp"
 
 namespace ota::serve {
@@ -32,6 +33,12 @@ std::chrono::steady_clock::time_point effective_deadline(
         std::min(deadline, deadline_after(submitted_at, request.deadline_seconds));
   }
   return deadline;
+}
+
+/// The layer a fault site name belongs to: the segment before the first dot
+/// ("spice.dc.newton" -> "spice").
+std::string layer_of(const std::string& site) {
+  return site.substr(0, site.find('.'));
 }
 
 }  // namespace
@@ -134,6 +141,11 @@ CampaignServer::CampaignServer(Options opt) : opt_(opt) {
     throw InvalidArgument(
         "CampaignServer: max_queue_depth must be >= 0 (0 = unbounded), got " +
         std::to_string(opt_.max_queue_depth));
+  }
+  if (opt_.max_retries < 0) {
+    throw InvalidArgument(
+        "CampaignServer: max_retries must be >= 0 (0 = no retry), got " +
+        std::to_string(opt_.max_retries));
   }
   ml::validated_precision(opt_.decode_precision, "CampaignServer");
   const int n = par::resolve_threads(opt_.workers);
@@ -309,12 +321,14 @@ void CampaignServer::worker_loop() {
     // Claim the job.  If Job::cancel() resolved it while queued, only the
     // accounting is left to do.
     bool already_resolved = false;
+    int prior_retries = 0;
     {
       std::lock_guard<std::mutex> jk(job->mu);
       if (job->finished) {
         already_resolved = true;
       } else {
         job->started = true;
+        prior_retries = job->retries;
       }
     }
     if (already_resolved) {
@@ -351,6 +365,9 @@ void CampaignServer::worker_loop() {
     run_opt.cancel = job->cancel_flag;
     run_opt.deadline = deadline;
     try {
+      // Injectable worker-side failure, before the copilot even constructs:
+      // the serve layer's own permanent fault.
+      FAULT_SITE("serve.worker.campaign");
       // A fresh copilot per campaign: the copilot itself is cheap (the
       // expensive state — model, engine, LUTs, builder — is shared through
       // the entry), and private mutable state is what makes the result
@@ -362,16 +379,60 @@ void CampaignServer::worker_loop() {
     } catch (const Cancelled& e) {
       res.status = CampaignStatus::Cancelled;
       res.error = e.what();
+    } catch (const ConvergenceError& e) {
+      // Transient failure.  Campaigns are hermetic (a fresh copilot starting
+      // from nominal widths), so a re-run computes exactly what a first run
+      // would — requeue at the back of the FIFO up to the retry budget.  A
+      // requeued job is the same job: not re-admitted, not re-counted.
+      if (prior_retries < opt_.max_retries) {
+        {
+          std::lock_guard<std::mutex> jk(job->mu);
+          job->retries = prior_retries + 1;
+          // Back in the queue, Job::cancel() may resolve it directly again.
+          job->started = false;
+        }
+        {
+          std::lock_guard<std::mutex> lk(mu_);
+          ++retried_;
+          // Deliberately past admission control: a retry is continuation of
+          // an admitted job, and dropping it would break exactly-once.
+          queue_.push_back(job);
+          peak_queue_depth_ =
+              std::max<uint64_t>(peak_queue_depth_, queue_.size());
+        }
+        cv_.notify_one();
+        continue;
+      }
+      res.status = CampaignStatus::Failed;
+      res.error = "ConvergenceError (transient, " +
+                  std::to_string(prior_retries) + "/" +
+                  std::to_string(opt_.max_retries) +
+                  " retries used): " + e.what();
+    } catch (const fault::InjectedFault& e) {
+      res.status = CampaignStatus::Failed;
+      res.error = "InjectedFault (site '" + e.site() + "', layer '" +
+                  layer_of(e.site()) + "'): " + e.what();
+    } catch (const Error& e) {
+      res.status = CampaignStatus::Failed;
+      res.error = std::string("ota::Error: ") + e.what();
     } catch (const std::exception& e) {
       res.status = CampaignStatus::Failed;
-      res.error = e.what();
+      res.error = std::string("std::exception: ") + e.what();
+    } catch (...) {
+      // Even a non-standard exception is recorded, never swallowed silently.
+      res.status = CampaignStatus::Failed;
+      res.error = "campaign failed with a non-standard exception";
     }
+    res.retries = prior_retries;
     res.total_seconds = seconds_since(job->submitted_at);
 
     {
       std::lock_guard<std::mutex> lk(mu_);
       switch (res.status) {
-        case CampaignStatus::Served: ++served_; break;
+        case CampaignStatus::Served:
+          ++served_;
+          if (prior_retries > 0) ++recovered_;
+          break;
         case CampaignStatus::Failed: ++failed_; break;
         case CampaignStatus::Cancelled: ++cancelled_; break;
       }
@@ -409,6 +470,8 @@ CampaignServer::Stats CampaignServer::stats() const {
   s.rejected = rejected_;
   s.timed_out = timed_out_;
   s.expired = expired_;
+  s.retried = retried_;
+  s.recovered = recovered_;
   s.queue_depth = queue_.size();
   s.peak_queue_depth = peak_queue_depth_;
   for (const auto& [name, entry] : topologies_) {

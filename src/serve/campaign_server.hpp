@@ -22,6 +22,9 @@
 // Queue contract: every submitted job resolves exactly once.  shutdown(true)
 // serves everything outstanding first; shutdown(false) answers unstarted
 // jobs with CampaignStatus::Cancelled.  Nothing is lost, nothing runs twice.
+// A campaign that throws a transient ConvergenceError requeues (same job, no
+// new submission) up to Options::max_retries times before counting as
+// Failed, so exactly-once accounting is unchanged by the retry policy.
 //
 // Overload contract: the job queue is bounded by Options::max_queue_depth
 // (0 = unbounded).  At capacity, submit() either throws ota::ServerOverloaded
@@ -103,8 +106,14 @@ enum class OverflowPolicy {
 
 struct CampaignResult {
   CampaignStatus status = CampaignStatus::Failed;
+  /// Failed: the original exception's what(), prefixed with its type and —
+  /// for injected faults — the fault site, so the failing layer is
+  /// diagnosable from the result alone.
   std::string error;
   core::SizingOutcome outcome;
+  /// Times the campaign was requeued by the transient-retry policy before
+  /// resolving (0 = first run resolved it).
+  int retries = 0;
   double queue_seconds = 0.0;  ///< submit -> worker pickup
   double total_seconds = 0.0;  ///< submit -> resolution (p50/p99 latency basis)
 };
@@ -136,6 +145,14 @@ class CampaignServer {
     /// agreement-gated SIMD serving tier).  register_topology can override
     /// it per topology.  Validated at construction.
     ml::Precision decode_precision = ml::Precision::kDouble;
+    /// Bounded retry for transient failures: a campaign that throws
+    /// ConvergenceError re-enters the back of the job queue (deterministic
+    /// requeue: FIFO order, the same campaign state — campaigns are
+    /// hermetic, so a re-run computes exactly what a first run would) up to
+    /// this many times before resolving as Failed.  Permanent failures
+    /// (anything else) never retry.  0 (default) = fail on first throw;
+    /// negative throws InvalidArgument.
+    int max_retries = 0;
   };
 
   CampaignServer();
@@ -192,6 +209,9 @@ class CampaignServer {
     CampaignResult result;
     CampaignRequest request;
     std::chrono::steady_clock::time_point submitted_at;
+    /// Times the transient-retry policy has requeued this job (guarded by
+    /// mu, like started).
+    int retries = 0;
     /// Cooperative cancel flag threaded through CopilotOptions into the
     /// prediction client and decode scheduler.
     std::shared_ptr<std::atomic<bool>> cancel_flag =
@@ -228,6 +248,13 @@ class CampaignServer {
     /// Jobs whose deadline passed before a worker ran them (a subset of
     /// `cancelled`; in-flight expiry counts only in `cancelled`).
     uint64_t expired = 0;
+    /// Transient-retry policy: requeues performed (one job retried twice
+    /// counts twice).  A retried job is still in flight — it is NOT yet in
+    /// served/failed/cancelled, so exactly-once accounting is untouched.
+    uint64_t retried = 0;
+    /// Jobs that resolved Served after at least one retry — the figure of
+    /// merit for the recovery path.
+    uint64_t recovered = 0;
     uint64_t queue_depth = 0;       ///< jobs waiting right now
     uint64_t peak_queue_depth = 0;  ///< deepest the queue has ever been
     /// Decode-scheduler counters summed over every registered topology;
@@ -269,6 +296,7 @@ class CampaignServer {
   bool drain_ = true;
   uint64_t submitted_ = 0, served_ = 0, failed_ = 0, cancelled_ = 0;
   uint64_t rejected_ = 0, timed_out_ = 0, expired_ = 0, peak_queue_depth_ = 0;
+  uint64_t retried_ = 0, recovered_ = 0;
 
   std::mutex join_mu_;  ///< serializes shutdown()'s join
   std::vector<std::thread> workers_;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/fault.hpp"
 #include "linalg/lu.hpp"
 #include "linalg/matrix.hpp"
 
@@ -146,46 +147,77 @@ DcSolution solve_dc(const Netlist& nl, const device::Technology& tech,
   }
 
   int total_iterations = 0;
+  int gmin_retries = 0;
+  int lu_failures = 0;
   std::vector<double> gmins = opt.gmin_steps;
   if (gmins.empty() || gmins.back() != 0.0) gmins.push_back(0.0);
 
   for (double gmin : gmins) {
     bool converged = false;
-    for (int it = 0; it < opt.max_iterations; ++it) {
-      ++total_iterations;
-      Assembler as(lay);
-      assemble(nl, tech, lay, x, gmin, as);
+    try {
+      // Injectable Newton failure at this gmin step: exercises exactly the
+      // recovery below (retry at the next ladder rung) plus, at gmin == 0,
+      // the caller-facing ConvergenceError path.
+      FAULT_SITE_AS("spice.dc.newton", ConvergenceError);
+      for (int it = 0; it < opt.max_iterations; ++it) {
+        ++total_iterations;
+        Assembler as(lay);
+        assemble(nl, tech, lay, x, gmin, as);
 
-      double max_resid = 0.0;
-      for (int r = 0; r < lay.n_nodes - 1; ++r) {
-        max_resid = std::max(max_resid, std::fabs(as.residual()[static_cast<size_t>(r)]));
-      }
+        double max_resid = 0.0;
+        for (int r = 0; r < lay.n_nodes - 1; ++r) {
+          max_resid = std::max(max_resid, std::fabs(as.residual()[static_cast<size_t>(r)]));
+        }
 
-      std::vector<double> dx;
-      try {
-        dx = linalg::LuDecomposition<double>(as.jacobian()).solve(as.residual());
-      } catch (const ConvergenceError&) {
-        break;  // singular at this gmin; let the next gmin step retry
-      }
+        std::vector<double> dx;
+        try {
+          dx = linalg::LuDecomposition<double>(as.jacobian()).solve(as.residual());
+        } catch (const ConvergenceError&) {
+          ++lu_failures;  // singular at this gmin; the handler below retries
+          throw;
+        }
 
-      double max_dv = 0.0;
-      for (int r = 0; r < lay.n_nodes - 1; ++r) {
-        double step = -dx[static_cast<size_t>(r)];
-        step = std::clamp(step, -opt.damping, opt.damping);
-        x[static_cast<size_t>(r)] += step;
-        max_dv = std::max(max_dv, std::fabs(step));
-      }
-      for (int r = lay.n_nodes - 1; r < lay.size(); ++r) {
-        x[static_cast<size_t>(r)] -= dx[static_cast<size_t>(r)];
-      }
+        double max_dv = 0.0;
+        for (int r = 0; r < lay.n_nodes - 1; ++r) {
+          double step = -dx[static_cast<size_t>(r)];
+          step = std::clamp(step, -opt.damping, opt.damping);
+          x[static_cast<size_t>(r)] += step;
+          max_dv = std::max(max_dv, std::fabs(step));
+        }
+        for (int r = lay.n_nodes - 1; r < lay.size(); ++r) {
+          x[static_cast<size_t>(r)] -= dx[static_cast<size_t>(r)];
+        }
 
-      if (max_dv < opt.v_tol && max_resid < opt.residual_tol) {
-        converged = true;
-        break;
+        if (max_dv < opt.v_tol && max_resid < opt.residual_tol) {
+          converged = true;
+          break;
+        }
       }
+    } catch (const ConvergenceError& e) {
+      // A singular Jacobian (or injected Newton fault) at a nonzero gmin is
+      // recoverable: the next (smaller) ladder rung retries from the current
+      // iterate.  Count it instead of silently breaking, so callers can see
+      // how hard the ladder worked; at gmin == 0 there is no rung left.
+      if (gmin == 0.0) {
+        throw ConvergenceError(
+            "solve_dc: gmin ladder exhausted (" + std::string(e.what()) +
+            "; " + std::to_string(gmin_retries) + " gmin retries, " +
+            std::to_string(lu_failures) + " LU failures)");
+      }
+      ++gmin_retries;
+      continue;
     }
-    if (!converged && gmin == 0.0) {
-      throw ConvergenceError("solve_dc: Newton failed to converge");
+    if (!converged) {
+      if (gmin == 0.0) {
+        throw ConvergenceError(
+            "solve_dc: Newton failed to converge after " +
+            std::to_string(total_iterations) + " iterations (" +
+            std::to_string(gmin_retries) + " gmin retries, " +
+            std::to_string(lu_failures) + " LU failures)");
+      }
+      // Iteration budget exhausted at a nonzero rung: homotopy continues,
+      // but the rung did not do its job — surface it as a retry too.
+      ++gmin_retries;
     }
   }
 
@@ -200,6 +232,8 @@ DcSolution solve_dc(const Netlist& nl, const device::Technology& tech,
         x[static_cast<size_t>(lay.i_index(k))];
   }
   sol.iterations = total_iterations;
+  sol.gmin_retries = gmin_retries;
+  sol.lu_failures = lu_failures;
   return sol;
 }
 

@@ -33,6 +33,13 @@ struct DcSolution {
   std::vector<double> v;  ///< node voltages indexed by NodeId (v[0] == 0)
   std::map<std::string, double> vsource_current;  ///< branch current per V source
   int iterations = 0;     ///< total Newton iterations across gmin steps
+  /// Ladder rungs that failed (singular Jacobian, injected fault, or an
+  /// exhausted iteration budget at a nonzero gmin) and were retried at the
+  /// next rung.  0 in a healthy solve; nonzero flags a marginal bias point.
+  int gmin_retries = 0;
+  /// Singular-Jacobian LU factorizations absorbed by the ladder (a subset of
+  /// the work behind gmin_retries, kept separate for diagnosis).
+  int lu_failures = 0;
 
   double voltage(const circuit::Netlist& nl, const std::string& node) const {
     return v[static_cast<size_t>(nl.find_node(node))];

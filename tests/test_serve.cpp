@@ -31,6 +31,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/fault.hpp"
 #include "core/metrics.hpp"
 #include "ml/decode_scheduler.hpp"
 
@@ -832,6 +833,284 @@ TEST_F(DeterminismTest, CampaignServerDrainServesWholeQueue) {
   const auto stats = server.stats();
   EXPECT_EQ(stats.served, jobs.size());
   EXPECT_EQ(stats.cancelled, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection & recovery.  Faults ride in through ota::fault (per-site
+// counted streams, so the firing SET is thread-count independent); the
+// properties under test are containment (a poisoned request fails alone),
+// survival (the scheduler thread and the workers keep serving afterwards),
+// recovery (transient faults retry within budget), and the usual bit-identity
+// of everything a fault did not touch.  References are always computed before
+// the spec is installed, so they are fault-free by construction.
+
+TEST_F(DeterminismTest, SchedulerSurvivesPoisonedEncode) {
+  const ml::InferenceEngine& engine = model().engine();
+  const auto targets = campaign_targets(5);
+  std::vector<std::vector<TokenId>> srcs;
+  std::vector<std::vector<TokenId>> reference;
+  for (const auto& t : targets) {
+    srcs.push_back(model().tokenizer().encode(builder_->encoder_text(t)));
+    reference.push_back(engine.greedy_decode(srcs.back(), 64));
+  }
+
+  for (int threads : {1, 3, 8}) {
+    // Session construction runs serially on the scheduler thread in FIFO
+    // admission order, so hit 1 is deterministically the first submission.
+    fault::ScopedFaults faults("ml.session.encode:once=1");
+    ml::DecodeScheduler::Options opt;
+    opt.threads = threads;
+    ml::DecodeScheduler scheduler(engine, opt);
+
+    std::vector<std::shared_ptr<ml::DecodeScheduler::Ticket>> tickets;
+    for (const auto& src : srcs) tickets.push_back(scheduler.submit(src, 64));
+
+    // The poisoned request fails alone, with the site in the error...
+    try {
+      (void)tickets[0]->wait();
+      FAIL() << "poisoned encode should have failed ticket 0";
+    } catch (const fault::InjectedFault& e) {
+      EXPECT_EQ(e.site(), "ml.session.encode");
+    }
+    // ...every other request is bit-identical to greedy_decode...
+    for (size_t i = 1; i < tickets.size(); ++i) {
+      EXPECT_EQ(tickets[i]->wait(), reference[i]) << i << " @" << threads;
+    }
+    // ...and the scheduler is still alive for post-fault traffic.
+    EXPECT_EQ(scheduler.submit(srcs[0], 64)->wait(), reference[0]);
+
+    const auto stats = scheduler.stats();
+    EXPECT_EQ(stats.submitted, srcs.size() + 1);
+    EXPECT_EQ(stats.failed, 1u);
+    EXPECT_EQ(stats.served, srcs.size());
+  }
+}
+
+TEST_F(DeterminismTest, SchedulerSurvivesPoisonedMidDecodeStep) {
+  const ml::InferenceEngine& engine = model().engine();
+  const auto targets = campaign_targets(6);
+  std::vector<std::vector<TokenId>> srcs;
+  std::vector<std::vector<TokenId>> reference;
+  for (const auto& t : targets) {
+    srcs.push_back(model().tokenizer().encode(builder_->encoder_text(t)));
+    reference.push_back(engine.greedy_decode(srcs.back(), 64));
+  }
+
+  for (int threads : {1, 3, 8}) {
+    // Step hits are claimed by racing pool workers: WHICH session claims the
+    // firing hit is timing, but exactly one does — so the assertions are
+    // race-tolerant (exactly one ticket fails, survivors are bit-identical).
+    fault::ScopedFaults faults("ml.session.step:once=3");
+    ml::DecodeScheduler::Options opt;
+    opt.threads = threads;
+    ml::DecodeScheduler scheduler(engine, opt);
+
+    std::vector<std::shared_ptr<ml::DecodeScheduler::Ticket>> tickets;
+    for (const auto& src : srcs) tickets.push_back(scheduler.submit(src, 64));
+
+    size_t failed = 0;
+    for (size_t i = 0; i < tickets.size(); ++i) {
+      try {
+        EXPECT_EQ(tickets[i]->wait(), reference[i]) << i << " @" << threads;
+      } catch (const fault::InjectedFault& e) {
+        EXPECT_EQ(e.site(), "ml.session.step");
+        ++failed;
+      }
+    }
+    EXPECT_EQ(failed, 1u) << threads << " threads";
+    // Post-fault traffic still decodes bit-identically.
+    EXPECT_EQ(scheduler.submit(srcs[0], 64)->wait(), reference[0]);
+    const auto stats = scheduler.stats();
+    EXPECT_EQ(stats.failed, 1u);
+    EXPECT_EQ(stats.served, srcs.size());
+  }
+}
+
+TEST_F(DeterminismTest, SchedulerRoundFaultFailsRoundButThreadSurvives) {
+  const ml::InferenceEngine& engine = model().engine();
+  const auto src = model().tokenizer().encode(
+      builder_->encoder_text(campaign_targets(1)[0]));
+  const auto reference = engine.greedy_decode(src, 64);
+
+  fault::ScopedFaults faults("ml.scheduler.round:once=2");
+  ml::DecodeScheduler scheduler(engine);
+  std::vector<std::shared_ptr<ml::DecodeScheduler::Ticket>> tickets;
+  for (int i = 0; i < 3; ++i) tickets.push_back(scheduler.submit(src, 64));
+
+  // A round-level fault is not attributable to any one request: every ticket
+  // that round was carrying fails with the round's error, tickets admitted
+  // later decode normally.  How many rounds each ticket saw is timing, so
+  // race-tolerantly: every ticket resolves exactly once, as served (round 2
+  // happened after it finished — impossible here with a 64-token budget, but
+  // the contract is the point) or failed with the round site in the message.
+  size_t failed = 0;
+  for (auto& t : tickets) {
+    try {
+      EXPECT_EQ(t->wait(), reference);
+    } catch (const fault::InjectedFault& e) {
+      EXPECT_EQ(e.site(), "ml.scheduler.round");
+      ++failed;
+    }
+  }
+  EXPECT_GE(failed, 1u);
+
+  // The scheduler thread survived the failed round: new traffic serves.
+  EXPECT_EQ(scheduler.submit(src, 64)->wait(), reference);
+  const auto stats = scheduler.stats();
+  EXPECT_EQ(stats.submitted, tickets.size() + 1);
+  EXPECT_EQ(stats.failed, failed);
+  EXPECT_EQ(stats.served + stats.failed + stats.cancelled, stats.submitted);
+}
+
+TEST_F(DeterminismTest, CampaignServerRetriesTransientConvergenceError) {
+  const auto targets = campaign_targets(4);
+  const auto opt = campaign_options();
+  const auto reference = serial_outcomes(targets, opt);
+
+  // Hit 2 of the Stage-II submit site fires once, as a ConvergenceError —
+  // the transient class.  WHICH campaign claims it is racy; the retry must
+  // recover it regardless, because campaigns are hermetic.
+  fault::ScopedFaults faults("core.predict.submit:once=2");
+  CampaignServer::Options sopt;
+  sopt.workers = 3;
+  sopt.max_retries = 2;
+  CampaignServer server(sopt);
+  server.register_topology("5T-OTA", *topo_, *tech_, *model_, luts_);
+
+  std::vector<std::shared_ptr<CampaignServer::Job>> jobs;
+  for (const auto& t : targets) jobs.push_back(server.submit({"5T-OTA", t, opt}));
+
+  int total_retries = 0;
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    const CampaignResult& res = jobs[i]->wait();
+    ASSERT_EQ(res.status, CampaignStatus::Served)
+        << "campaign " << i << ": " << res.error;
+    expect_same_outcome(res.outcome, reference[i]);
+    total_retries += res.retries;
+  }
+  EXPECT_EQ(total_retries, 1);
+
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.served, jobs.size());
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.retried, 1u);
+  EXPECT_EQ(stats.recovered, 1u);
+}
+
+TEST_F(DeterminismTest, CampaignServerTransientFailureExhaustsRetryBudget) {
+  const auto targets = campaign_targets(1);
+  const auto opt = campaign_options();
+
+  // Every Stage-II submit fails: with max_retries=2 the job runs 3 times
+  // (initial + 2 retries) and then resolves Failed with the budget in the
+  // error message.  Exactly-once accounting must survive the requeues.
+  fault::ScopedFaults faults("core.predict.submit:every=1");
+  CampaignServer::Options sopt;
+  sopt.workers = 2;
+  sopt.max_retries = 2;
+  CampaignServer server(sopt);
+  server.register_topology("5T-OTA", *topo_, *tech_, *model_, luts_);
+
+  auto job = server.submit({"5T-OTA", targets[0], opt});
+  const CampaignResult& res = job->wait();
+  ASSERT_EQ(res.status, CampaignStatus::Failed);
+  EXPECT_EQ(res.retries, 2);
+  EXPECT_NE(res.error.find("transient"), std::string::npos) << res.error;
+  EXPECT_NE(res.error.find("2/2 retries"), std::string::npos) << res.error;
+
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.submitted, 1u);
+  EXPECT_EQ(stats.failed, 1u);
+  EXPECT_EQ(stats.retried, 2u);
+  EXPECT_EQ(stats.recovered, 0u);
+}
+
+TEST_F(DeterminismTest, CampaignServerFailedJobCarriesSiteDiagnostics) {
+  const auto targets = campaign_targets(2);
+  const auto opt = campaign_options();
+  const auto reference = serial_outcomes(targets, opt);
+
+  // One worker makes pickup order FIFO: hit 1 is deterministically job 0.
+  fault::ScopedFaults faults("serve.worker.campaign:once=1");
+  CampaignServer::Options sopt;
+  sopt.workers = 1;
+  sopt.max_retries = 2;  // permanent faults must NOT consume retries
+  CampaignServer server(sopt);
+  server.register_topology("5T-OTA", *topo_, *tech_, *model_, luts_);
+
+  auto poisoned = server.submit({"5T-OTA", targets[0], opt});
+  auto clean = server.submit({"5T-OTA", targets[1], opt});
+
+  const CampaignResult& bad = poisoned->wait();
+  ASSERT_EQ(bad.status, CampaignStatus::Failed);
+  EXPECT_EQ(bad.retries, 0);
+  // The error names the exception type, the site, and the failing layer.
+  EXPECT_NE(bad.error.find("InjectedFault"), std::string::npos) << bad.error;
+  EXPECT_NE(bad.error.find("serve.worker.campaign"), std::string::npos)
+      << bad.error;
+  EXPECT_NE(bad.error.find("layer 'serve'"), std::string::npos) << bad.error;
+
+  const CampaignResult& good = clean->wait();
+  ASSERT_EQ(good.status, CampaignStatus::Served) << good.error;
+  expect_same_outcome(good.outcome, reference[1]);
+
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.failed, 1u);
+  EXPECT_EQ(stats.served, 1u);
+  EXPECT_EQ(stats.retried, 0u);
+}
+
+TEST_F(DeterminismTest, CampaignServerPoisonedCampaignFailsAloneAcrossWorkerCounts) {
+  const auto targets = campaign_targets(5);
+  const auto opt = campaign_options();
+  const auto reference = serial_outcomes(targets, opt);
+
+  struct Case {
+    const char* spec;
+    const char* site;
+  };
+  // The satellite pair: a session poisoned at encode, and one poisoned
+  // mid-decode.  Both surface through Ticket::wait into the campaign worker
+  // as InjectedFault — a permanent failure carrying its site.
+  for (const Case c : {Case{"ml.session.encode:once=1", "ml.session.encode"},
+                       Case{"ml.session.step:once=4", "ml.session.step"}}) {
+    for (int workers : {1, 3, 8}) {
+      fault::ScopedFaults faults(c.spec);
+      CampaignServer::Options sopt;
+      sopt.workers = workers;
+      sopt.max_decode_batch = 4;
+      CampaignServer server(sopt);
+      server.register_topology("5T-OTA", *topo_, *tech_, *model_, luts_);
+
+      std::vector<std::shared_ptr<CampaignServer::Job>> jobs;
+      for (const auto& t : targets) {
+        jobs.push_back(server.submit({"5T-OTA", t, opt}));
+      }
+
+      // WHICH campaign claims the firing hit is scheduling; the contract is
+      // that exactly one fails, carrying the site, and every survivor is
+      // bit-identical to the fault-free serial copilot.
+      size_t failed = 0;
+      for (size_t i = 0; i < jobs.size(); ++i) {
+        const CampaignResult& res = jobs[i]->wait();
+        if (res.status == CampaignStatus::Failed) {
+          EXPECT_NE(res.error.find(c.site), std::string::npos) << res.error;
+          ++failed;
+        } else {
+          ASSERT_EQ(res.status, CampaignStatus::Served)
+              << "campaign " << i << " workers " << workers << ": " << res.error;
+          expect_same_outcome(res.outcome, reference[i]);
+        }
+      }
+      EXPECT_EQ(failed, 1u) << c.spec << " workers " << workers;
+
+      const auto stats = server.stats();
+      EXPECT_EQ(stats.submitted, jobs.size());
+      EXPECT_EQ(stats.failed, 1u);
+      EXPECT_EQ(stats.served, jobs.size() - 1);
+      EXPECT_EQ(stats.cancelled, 0u);
+    }
+  }
 }
 
 }  // namespace
