@@ -226,38 +226,29 @@ int main() {
   }
   std::printf("max |batched - naive| / |naive| = %.3g\n", max_rel_err);
 
-  const char* json_env = std::getenv("OTA_BENCH_JSON");
-  const std::string json_path =
-      json_env && *json_env ? json_env : "BENCH_ac.json";
-  {
-    std::ofstream js(json_path);
-    if (!js) {
-      std::fprintf(stderr, "FAIL: cannot open %s for writing\n",
-                   json_path.c_str());
-      return 1;
-    }
-    js << "{\n  \"bench\": \"ac_sweep\",\n"
-       << "  \"scale\": \"" << sc.name << "\",\n"
-       << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
-       << "  \"points\": " << points << ",\n"
-       << "  \"system_size\": " << ac.system_size() << ",\n"
-       << "  \"naive_points_per_sec\": " << static_cast<long long>(naive_pps)
-       << ",\n  \"max_rel_err_vs_naive\": " << max_rel_err << ",\n"
-       << "  \"bit_identical\": " << (bit_identical ? "true" : "false")
-       << ",\n  \"runs\": [\n";
-    for (size_t i = 0; i < runs.size(); ++i) {
-      char line[192];
-      std::snprintf(line, sizeof line,
-                    "    {\"threads\": %d, \"seconds\": %.4f, "
-                    "\"points_per_sec\": %.0f, \"speedup_vs_naive\": %.3f}%s\n",
-                    runs[i].threads, runs[i].seconds, runs[i].points_per_sec,
-                    runs[i].speedup_vs_naive,
-                    i + 1 < runs.size() ? "," : "");
-      js << line;
-    }
-    js << "  ]\n}\n";
+  std::vector<JsonObject> run_rows;
+  for (const auto& r : runs) {
+    run_rows.push_back(JsonObject()
+                           .num("threads", r.threads)
+                           .num("seconds", r.seconds, "%.4f")
+                           .num("points_per_sec", r.points_per_sec, "%.0f")
+                           .num("speedup_vs_naive", r.speedup_vs_naive,
+                                "%.3f"));
   }
-  std::printf("wrote %s\n", json_path.c_str());
+  if (!write_bench_json("BENCH_ac.json",
+                        JsonObject()
+                            .str("bench", "ac_sweep")
+                            .str("scale", sc.name)
+                            .boolean("smoke", smoke)
+                            .num("points", points)
+                            .num("system_size", ac.system_size())
+                            .num("naive_points_per_sec",
+                                 static_cast<long long>(naive_pps))
+                            .num("max_rel_err_vs_naive", max_rel_err)
+                            .boolean("bit_identical", bit_identical)
+                            .array("runs", std::move(run_rows)))) {
+    return 1;
+  }
 
   if (!bit_identical) {
     std::fprintf(stderr, "FAIL: batched sweep diverged from the per-point "

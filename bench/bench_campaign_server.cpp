@@ -252,39 +252,30 @@ int main() {
               static_cast<unsigned long long>(ostats.peak_queue_depth),
               overload_depth);
 
-  const char* json_env = std::getenv("OTA_BENCH_JSON");
-  const std::string json_path = json_env && *json_env ? json_env
-                                                      : "BENCH_campaign.json";
-  {
-    std::ofstream js(json_path);
-    char buf[1024];
-    std::snprintf(buf, sizeof buf,
-                  "{\n  \"bench\": \"campaign_server\",\n"
-                  "  \"scale\": \"%s\",\n  \"smoke\": %s,\n"
-                  "  \"campaigns\": %d,\n  \"workers\": %d,\n"
-                  "  \"serial_seconds\": %.3f,\n  \"server_seconds\": %.3f,\n"
-                  "  \"campaigns_per_sec_serial\": %.3f,\n"
-                  "  \"campaigns_per_sec_server\": %.3f,\n"
-                  "  \"speedup\": %.3f,\n  \"latency_p50_s\": %.4f,\n"
-                  "  \"latency_p99_s\": %.4f,\n"
-                  "  \"decode_occupancy\": %.3f,\n  \"decode_peak_batch\": %llu,\n"
-                  "  \"overload_attempts\": %d,\n  \"overload_rejected\": %d,\n"
-                  "  \"overload_served\": %llu,\n  \"overload_cancelled\": %llu,\n"
-                  "  \"overload_peak_queue_depth\": %llu,\n"
-                  "  \"overload_queue_cap\": %d,\n"
-                  "  \"bit_identical\": %s\n}\n",
-                  sc.name.c_str(), smoke ? "true" : "false", n_campaigns,
-                  n_workers, serial_seconds, server_seconds, serial_rate,
-                  server_rate, speedup, p50, p99, occupancy,
-                  static_cast<unsigned long long>(stats.decode.peak_batch),
-                  overload_attempts, overload_rejected.load(),
-                  static_cast<unsigned long long>(overload_served),
-                  static_cast<unsigned long long>(overload_cancelled),
-                  static_cast<unsigned long long>(ostats.peak_queue_depth),
-                  overload_depth, bit_identical ? "true" : "false");
-    js << buf;
-  }
-  std::printf("\nwrote %s\n", json_path.c_str());
+  write_bench_json("BENCH_campaign.json",
+                   JsonObject()
+                       .str("bench", "campaign_server")
+                       .str("scale", sc.name)
+                       .boolean("smoke", smoke)
+                       .num("campaigns", n_campaigns)
+                       .num("workers", n_workers)
+                       .num("serial_seconds", serial_seconds, "%.3f")
+                       .num("server_seconds", server_seconds, "%.3f")
+                       .num("campaigns_per_sec_serial", serial_rate, "%.3f")
+                       .num("campaigns_per_sec_server", server_rate, "%.3f")
+                       .num("speedup", speedup, "%.3f")
+                       .num("latency_p50_s", p50, "%.4f")
+                       .num("latency_p99_s", p99, "%.4f")
+                       .num("decode_occupancy", occupancy, "%.3f")
+                       .num("decode_peak_batch", stats.decode.peak_batch)
+                       .num("overload_attempts", overload_attempts)
+                       .num("overload_rejected", overload_rejected.load())
+                       .num("overload_served", overload_served)
+                       .num("overload_cancelled", overload_cancelled)
+                       .num("overload_peak_queue_depth",
+                            ostats.peak_queue_depth)
+                       .num("overload_queue_cap", overload_depth)
+                       .boolean("bit_identical", bit_identical));
 
   if (!bit_identical) {
     std::fprintf(stderr, "FAIL: server campaigns diverged from the serial "

@@ -30,6 +30,12 @@
 // OTA_FAULT_SMOKE=1 shrinks the dataset/model and campaign count; the
 // Release CI job runs that mode.  Results are written as JSON (path from
 // OTA_BENCH_JSON, default BENCH_fault.json) for scripts/bench_snapshot.sh.
+//
+// OTA_CHAOS_ROUNDS=N (the nightly chaos job) appends a fourth pass: N rounds
+// of a randomized `prob=` spec across all seven fault sites at once
+// (OTA_CHAOS_PROB, default 0.02; per-round deterministic seeds derived from
+// OTA_CHAOS_SEED), gated on exactly-once accounting per round and a
+// fault-free bit-identical probe after the last round.
 #include <chrono>
 #include <cstring>
 #include <fstream>
@@ -286,39 +292,124 @@ int main() {
               degrade_identical ? "bit-identical" : "DIVERGED",
               degrade_counters_match ? "matched" : "MISMATCHED");
 
-  const char* json_env = std::getenv("OTA_BENCH_JSON");
-  const std::string json_path = json_env && *json_env ? json_env
-                                                      : "BENCH_fault.json";
-  {
-    std::ofstream js(json_path);
-    char buf[1024];
-    std::snprintf(buf, sizeof buf,
-                  "{\n  \"bench\": \"fault_storm\",\n"
-                  "  \"scale\": \"%s\",\n  \"smoke\": %s,\n"
-                  "  \"storm_spec\": \"%s\",\n"
-                  "  \"campaigns\": %d,\n  \"storm_seconds\": %.3f,\n"
-                  "  \"served\": %llu,\n  \"failed\": %llu,\n"
-                  "  \"retried\": %llu,\n  \"recovered\": %llu,\n"
-                  "  \"survivors_bit_identical\": %s,\n"
-                  "  \"post_storm_healthy\": %s,\n"
-                  "  \"degrade_campaigns\": %d,\n"
-                  "  \"degrade_failed\": %llu,\n"
-                  "  \"degrade_bit_identical\": %s,\n"
-                  "  \"degrade_counters_match\": %s\n}\n",
-                  sc.name.c_str(), smoke ? "true" : "false", kStormSpec,
-                  n_campaigns, storm_seconds,
-                  static_cast<unsigned long long>(stats.served),
-                  static_cast<unsigned long long>(stats.failed),
-                  static_cast<unsigned long long>(stats.retried),
-                  static_cast<unsigned long long>(stats.recovered),
-                  survivors_identical ? "true" : "false",
-                  post_storm_healthy ? "true" : "false", n_degrade,
-                  static_cast<unsigned long long>(degrade_failed),
-                  degrade_identical ? "true" : "false",
-                  degrade_counters_match ? "true" : "false");
-    js << buf;
+  // Pass 4 (opt-in, the nightly chaos schedule): many rounds of a randomized
+  // prob= spec across every fault site at once, against one long-lived
+  // server.  Per-round seeds keep each round's firing set deterministic and
+  // reproducible from (OTA_CHAOS_SEED, round); the gate is exactly-once
+  // accounting every round plus a fault-free bit-identical probe at the end
+  // — chaos may fail campaigns, it may never lose or double-count one, and
+  // the server must come out of hours of it still serving correct answers.
+  const int chaos_rounds = [] {
+    const char* env = std::getenv("OTA_CHAOS_ROUNDS");
+    return env && *env ? std::atoi(env) : 0;
+  }();
+  const double chaos_prob = [] {
+    const char* env = std::getenv("OTA_CHAOS_PROB");
+    return env && *env ? std::atof(env) : 0.02;
+  }();
+  const uint64_t chaos_seed = [] {
+    const char* env = std::getenv("OTA_CHAOS_SEED");
+    return env && *env ? std::strtoull(env, nullptr, 10) : uint64_t{2025};
+  }();
+  uint64_t chaos_served = 0, chaos_failed = 0, chaos_cancelled = 0;
+  bool chaos_probe_healthy = true;
+  bool chaos_accounted = true;
+  constexpr int kChaosPerRound = 4;
+  if (chaos_rounds > 0) {
+    constexpr const char* kChaosSites[] = {
+        "linalg.lu.factor",   "spice.dc.newton",      "ml.session.encode",
+        "ml.session.step",    "ml.scheduler.round",   "core.predict.submit",
+        "serve.worker.campaign"};
+    std::fprintf(stderr,
+                 "[bench] chaos schedule: %d rounds x %d campaigns, prob "
+                 "%.3g over %zu sites, seed %llu...\n",
+                 chaos_rounds, kChaosPerRound, chaos_prob,
+                 sizeof kChaosSites / sizeof kChaosSites[0],
+                 static_cast<unsigned long long>(chaos_seed));
+    serve::CampaignServer::Options chopt;
+    chopt.workers = 4;
+    chopt.max_retries = 2;
+    serve::CampaignServer chaos_server(chopt);
+    chaos_server.register_topology("5T-OTA", topo, tech(), model, lut_set);
+    for (int r = 0; r < chaos_rounds; ++r) {
+      std::string spec;
+      size_t site_idx = 0;
+      for (const char* site : kChaosSites) {
+        char entry[128];
+        std::snprintf(entry, sizeof entry, "%s%s:prob=%g@%llu",
+                      spec.empty() ? "" : ";", site, chaos_prob,
+                      static_cast<unsigned long long>(
+                          chaos_seed + static_cast<uint64_t>(r) * 7919 +
+                          site_idx * 131));
+        spec += entry;
+        ++site_idx;
+      }
+      fault::install_spec(spec);
+      std::vector<std::shared_ptr<serve::CampaignServer::Job>> round_jobs;
+      for (int i = 0; i < kChaosPerRound; ++i) {
+        const size_t target_idx = static_cast<size_t>(
+            (r * kChaosPerRound + i) % n_campaigns);
+        round_jobs.push_back(
+            chaos_server.submit({"5T-OTA", targets[target_idx], copt}));
+      }
+      for (auto& job : round_jobs) {
+        switch (job->wait().status) {
+          case serve::CampaignStatus::Served: ++chaos_served; break;
+          case serve::CampaignStatus::Failed: ++chaos_failed; break;
+          case serve::CampaignStatus::Cancelled: ++chaos_cancelled; break;
+        }
+      }
+      fault::clear();
+    }
+    // Faults cleared: the same server must still serve bit-identically.
+    auto chaos_probe = chaos_server.submit({"5T-OTA", targets[0], copt});
+    const serve::CampaignResult& cres = chaos_probe->wait();
+    chaos_probe_healthy = cres.status == serve::CampaignStatus::Served &&
+                          same_outcome(cres.outcome, reference[0]);
+    const auto cstats = chaos_server.stats();
+    chaos_server.shutdown();
+    const uint64_t expected =
+        static_cast<uint64_t>(chaos_rounds) * kChaosPerRound + 1;
+    chaos_accounted =
+        cstats.submitted == expected && chaos_cancelled == 0 &&
+        cstats.served + cstats.failed + cstats.cancelled == cstats.submitted;
+    std::printf("chaos: %d rounds x %d -> %llu served, %llu failed, %llu "
+                "cancelled; probe %s\n",
+                chaos_rounds, kChaosPerRound,
+                static_cast<unsigned long long>(chaos_served),
+                static_cast<unsigned long long>(chaos_failed),
+                static_cast<unsigned long long>(chaos_cancelled),
+                chaos_probe_healthy ? "healthy" : "UNHEALTHY");
   }
-  std::printf("\nwrote %s\n", json_path.c_str());
+
+  JsonObject out;
+  out.str("bench", "fault_storm")
+      .str("scale", sc.name)
+      .boolean("smoke", smoke)
+      .str("storm_spec", kStormSpec)
+      .num("campaigns", n_campaigns)
+      .num("storm_seconds", storm_seconds, "%.3f")
+      .num("served", stats.served)
+      .num("failed", stats.failed)
+      .num("retried", stats.retried)
+      .num("recovered", stats.recovered)
+      .boolean("survivors_bit_identical", survivors_identical)
+      .boolean("post_storm_healthy", post_storm_healthy)
+      .num("degrade_campaigns", n_degrade)
+      .num("degrade_failed", degrade_failed)
+      .boolean("degrade_bit_identical", degrade_identical)
+      .boolean("degrade_counters_match", degrade_counters_match);
+  if (chaos_rounds > 0) {
+    out.num("chaos_rounds", chaos_rounds)
+        .num("chaos_campaigns_per_round", kChaosPerRound)
+        .num("chaos_prob", chaos_prob, "%g")
+        .num("chaos_served", chaos_served)
+        .num("chaos_failed", chaos_failed)
+        .num("chaos_cancelled", chaos_cancelled)
+        .boolean("chaos_accounted", chaos_accounted)
+        .boolean("chaos_probe_healthy", chaos_probe_healthy);
+  }
+  write_bench_json("BENCH_fault.json", out);
 
   int rc = 0;
   if (!storm_spanned_layers) {
@@ -354,6 +445,15 @@ int main() {
   if (!degrade_counters_match) {
     std::fprintf(stderr, "FAIL: per-site fault counters diverged between the "
                  "serial and server degradation passes\n");
+    rc = 1;
+  }
+  if (chaos_rounds > 0 && !chaos_accounted) {
+    std::fprintf(stderr, "FAIL: chaos accounting broke exactly-once\n");
+    rc = 1;
+  }
+  if (chaos_rounds > 0 && !chaos_probe_healthy) {
+    std::fprintf(stderr, "FAIL: the server did not serve bit-identically "
+                 "after the chaos schedule\n");
     rc = 1;
   }
   return rc;

@@ -160,30 +160,22 @@ int main() {
   std::printf("determinism: %s\n",
               deterministic ? "bit-identical run to run" : "NON-DETERMINISTIC");
 
-  const char* json_env = std::getenv("OTA_BENCH_JSON");
-  const std::string json_path =
-      json_env && *json_env ? json_env : "BENCH_infer.json";
-  {
-    std::ofstream js(json_path);
-    char buf[768];
-    std::snprintf(buf, sizeof buf,
-                  "{\n  \"bench\": \"infer_tier\",\n"
-                  "  \"scale\": \"%s\",\n  \"smoke\": %s,\n"
-                  "  \"probes\": %d,\n  \"max_tokens\": %lld,\n"
-                  "  \"decode_steps_per_pass\": %lld,\n  \"repeats\": %d,\n"
-                  "  \"double_seconds\": %.4f,\n  \"f32_seconds\": %.4f,\n"
-                  "  \"double_tokens_per_sec\": %.1f,\n"
-                  "  \"f32_tokens_per_sec\": %.1f,\n"
-                  "  \"f32_speedup\": %.3f,\n"
-                  "  \"token_agreement\": %s,\n  \"deterministic\": %s\n}\n",
-                  sc.name.c_str(), smoke ? "true" : "false", n_probes,
-                  static_cast<long long>(max_tokens),
-                  static_cast<long long>(steps), repeats, double_seconds,
-                  f32_seconds, double_rate, f32_rate, speedup,
-                  agree ? "true" : "false", deterministic ? "true" : "false");
-    js << buf;
-  }
-  std::printf("\nwrote %s\n", json_path.c_str());
+  write_bench_json("BENCH_infer.json",
+                   JsonObject()
+                       .str("bench", "infer_tier")
+                       .str("scale", sc.name)
+                       .boolean("smoke", smoke)
+                       .num("probes", n_probes)
+                       .num("max_tokens", max_tokens)
+                       .num("decode_steps_per_pass", steps)
+                       .num("repeats", repeats)
+                       .num("double_seconds", double_seconds, "%.4f")
+                       .num("f32_seconds", f32_seconds, "%.4f")
+                       .num("double_tokens_per_sec", double_rate, "%.1f")
+                       .num("f32_tokens_per_sec", f32_rate, "%.1f")
+                       .num("f32_speedup", speedup, "%.3f")
+                       .boolean("token_agreement", agree)
+                       .boolean("deterministic", deterministic));
 
   if (!agree) {
     std::fprintf(stderr,

@@ -125,32 +125,24 @@ int main() {
     runs.push_back(run);
   }
 
-  const char* json_env = std::getenv("OTA_BENCH_JSON");
-  const std::string json_path = json_env && *json_env ? json_env
-                                                      : "BENCH_train.json";
-  {
-    std::ofstream js(json_path);
-    js << "{\n  \"bench\": \"train_runtime\",\n"
-       << "  \"scale\": \"" << sc.name << "\",\n"
-       << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
-       << "  \"corpus_pairs\": " << pairs.size() << ",\n"
-       << "  \"epochs\": " << topt.epochs << ",\n"
-       << "  \"batch_size\": " << topt.batch_size << ",\n"
-       << "  \"bit_identical\": " << (bit_identical ? "true" : "false")
-       << ",\n  \"runs\": [\n";
-    for (size_t i = 0; i < runs.size(); ++i) {
-      char line[160];
-      std::snprintf(line, sizeof line,
-                    "    {\"threads\": %d, \"seconds\": %.3f, "
-                    "\"examples_per_sec\": %.2f, \"speedup\": %.3f}%s\n",
-                    runs[i].threads, runs[i].seconds,
-                    runs[i].examples_per_sec, runs[i].speedup,
-                    i + 1 < runs.size() ? "," : "");
-      js << line;
-    }
-    js << "  ]\n}\n";
+  std::vector<benchsupport::JsonObject> run_rows;
+  for (const auto& r : runs) {
+    run_rows.push_back(benchsupport::JsonObject()
+                           .num("threads", r.threads)
+                           .num("seconds", r.seconds, "%.3f")
+                           .num("examples_per_sec", r.examples_per_sec, "%.2f")
+                           .num("speedup", r.speedup, "%.3f"));
   }
-  std::printf("\nwrote %s\n", json_path.c_str());
+  write_bench_json("BENCH_train.json",
+                   benchsupport::JsonObject()
+                       .str("bench", "train_runtime")
+                       .str("scale", sc.name)
+                       .boolean("smoke", smoke)
+                       .num("corpus_pairs", pairs.size())
+                       .num("epochs", topt.epochs)
+                       .num("batch_size", topt.batch_size)
+                       .boolean("bit_identical", bit_identical)
+                       .array("runs", std::move(run_rows)));
 
   if (!bit_identical) {
     std::fprintf(stderr, "FAIL: parallel training diverged from the serial "

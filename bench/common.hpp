@@ -17,6 +17,9 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
 
 #include "core/copilot.hpp"
 #include "core/metrics.hpp"
@@ -63,6 +66,100 @@ struct Scale {
     return sc;
   }
 };
+
+/// Order-preserving JSON object builder for the BENCH_*.json snapshots.
+/// Every bench used to hand-roll its own writer blob; this is the one shared
+/// emitter.  Scalars render in insertion order; nested arrays of objects
+/// (the per-thread "runs" sweeps) render one object per line.
+class JsonObject {
+ public:
+  JsonObject& str(const std::string& key, const std::string& value) {
+    return raw(key, "\"" + value + "\"");
+  }
+  JsonObject& boolean(const std::string& key, bool value) {
+    return raw(key, value ? "true" : "false");
+  }
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>,
+                             int> = 0>
+  JsonObject& num(const std::string& key, T value) {
+    return raw(key, std::to_string(value));
+  }
+  /// Doubles take an explicit printf format so each bench keeps the
+  /// precision its numbers warrant (%.3f seconds, %.0f rates, ...).
+  JsonObject& num(const std::string& key, double value,
+                  const char* fmt = "%.6g") {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, fmt, value);
+    return raw(key, buf);
+  }
+  JsonObject& array(const std::string& key, std::vector<JsonObject> items) {
+    fields_.emplace_back(key, Value{"", std::move(items), true});
+    return *this;
+  }
+
+  std::string render() const {
+    std::string out = "{\n";
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      const auto& [key, value] = fields_[i];
+      out += "  \"" + key + "\": ";
+      if (value.is_array) {
+        out += "[\n";
+        for (size_t j = 0; j < value.items.size(); ++j) {
+          out += "    " + value.items[j].render_inline();
+          if (j + 1 < value.items.size()) out += ",";
+          out += "\n";
+        }
+        out += "  ]";
+      } else {
+        out += value.scalar;
+      }
+      if (i + 1 < fields_.size()) out += ",";
+      out += "\n";
+    }
+    return out + "}\n";
+  }
+
+ private:
+  struct Value {
+    std::string scalar;
+    std::vector<JsonObject> items;
+    bool is_array = false;
+  };
+
+  JsonObject& raw(const std::string& key, std::string rendered) {
+    fields_.emplace_back(key, Value{std::move(rendered), {}, false});
+    return *this;
+  }
+
+  std::string render_inline() const {
+    std::string out = "{";
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      out += "\"" + fields_[i].first + "\": " + fields_[i].second.scalar;
+      if (i + 1 < fields_.size()) out += ", ";
+    }
+    return out + "}";
+  }
+
+  std::vector<std::pair<std::string, Value>> fields_;
+};
+
+/// Writes `obj` to $OTA_BENCH_JSON (or `default_path` when unset) and logs
+/// the destination.  Returns false after printing a FAIL line when the file
+/// cannot be opened, so benches can propagate it into their exit code.
+inline bool write_bench_json(const std::string& default_path,
+                             const JsonObject& obj) {
+  const char* env = std::getenv("OTA_BENCH_JSON");
+  const std::string path = env && *env ? env : default_path;
+  std::ofstream js(path);
+  if (!js) {
+    std::fprintf(stderr, "FAIL: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  js << obj.render();
+  std::printf("\nwrote %s\n", path.c_str());
+  return true;
+}
 
 inline const device::Technology& tech() {
   static const device::Technology t = device::Technology::default65nm();

@@ -1,0 +1,211 @@
+#include "common/stats.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <string_view>
+#include <vector>
+
+namespace ota::stats {
+
+namespace {
+
+/// Upper bound on distinct interned sites.  Fixed so per-thread tables are
+/// flat arrays whose slots never move or reallocate while hot paths hold
+/// references; the last slot is the shared overflow bucket should the
+/// catalogue ever outgrow this (today's catalogue is ~20 sites).
+constexpr size_t kMaxSites = 256;
+
+}  // namespace
+
+namespace detail {
+
+struct Site {
+  std::string name;
+  Kind kind = Kind::kCounter;
+  size_t slot = 0;  ///< index into every ThreadTable's slot array
+};
+
+namespace {
+
+/// One thread's private accumulation cells.  Only the owning thread writes;
+/// the atomics are relaxed purely so a concurrent report/reset on another
+/// thread is a defined read/write, never a synchronization point.
+struct ThreadTable {
+  struct Slot {
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> ns{0};
+  };
+  Slot slots[kMaxSites];
+};
+
+struct State {
+  std::mutex mu;
+  /// Interned sites in interning order; site->slot indexes tables' arrays.
+  std::vector<std::unique_ptr<Site>> sites;
+  /// All thread tables ever registered.  Owned here, not by the threads:
+  /// a worker may exit long before report time and its data must survive.
+  std::vector<std::unique_ptr<ThreadTable>> tables;
+};
+
+State& state() {
+  static State* s = new State();  // never destroyed: at-exit dump reads it
+  return *s;
+}
+
+/// The calling thread's table, registered with the state on first use.
+ThreadTable& thread_table() {
+  thread_local ThreadTable* table = [] {
+    auto owned = std::make_unique<ThreadTable>();
+    ThreadTable* raw = owned.get();
+    State& s = state();
+    std::lock_guard<std::mutex> lk(s.mu);
+    s.tables.push_back(std::move(owned));
+    return raw;
+  }();
+  return *table;
+}
+
+Site& intern_locked(State& s, std::string_view name, Kind kind) {
+  for (const auto& site : s.sites) {
+    if (site->name == name) return *site;
+  }
+  auto site = std::make_unique<Site>();
+  if (s.sites.size() + 1 < kMaxSites) {
+    site->name = std::string(name);
+    site->kind = kind;
+    site->slot = s.sites.size();
+  } else {
+    // Catalogue overflow: everything past the cap shares the last slot so
+    // hot paths stay bounded and exception-free.  Not expected to trigger.
+    for (const auto& existing : s.sites) {
+      if (existing->slot == kMaxSites - 1) return *existing;
+    }
+    site->name = "ota.stats.site_overflow";
+    site->kind = Kind::kCounter;
+    site->slot = kMaxSites - 1;
+  }
+  s.sites.push_back(std::move(site));
+  return *s.sites.back();
+}
+
+}  // namespace
+
+std::atomic<bool> g_enabled{[] {
+  const char* env = std::getenv("OTA_STATS");
+  if (env == nullptr || *env == '\0' ||
+      (env[0] == '0' && env[1] == '\0')) {
+    return false;
+  }
+  if (!(env[0] == '1' && env[1] == '\0')) {
+    // Any other value is a dump path: emit the report when the process
+    // exits.  The path is leaked so the handler never touches a destroyed
+    // string, mirroring the never-destroyed registry state.
+    static const std::string* dump_path = new std::string(env);
+    std::atexit([] { write_report(*dump_path); });
+  }
+  return true;
+}()};
+
+Site& resolve(SiteHandle& handle, const char* name, Kind kind) {
+  if (Site* site = handle.site.load(std::memory_order_acquire)) return *site;
+  State& s = state();
+  Site* interned = nullptr;
+  {
+    std::lock_guard<std::mutex> lk(s.mu);
+    interned = &intern_locked(s, name, kind);
+  }
+  // Racing call sites for the same name intern the same Site; publishing
+  // either pointer is correct.
+  handle.site.store(interned, std::memory_order_release);
+  return *interned;
+}
+
+void add_count(const Site& site, uint64_t n) {
+  thread_table().slots[site.slot].count.fetch_add(n,
+                                                  std::memory_order_relaxed);
+}
+
+void add_timed(const Site& site, uint64_t ns) {
+  auto& slot = thread_table().slots[site.slot];
+  slot.count.fetch_add(1, std::memory_order_relaxed);
+  slot.ns.fetch_add(ns, std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+void enable() { detail::g_enabled.store(true, std::memory_order_release); }
+
+void disable() { detail::g_enabled.store(false, std::memory_order_release); }
+
+void reset() {
+  auto& s = detail::state();
+  std::lock_guard<std::mutex> lk(s.mu);
+  for (auto& table : s.tables) {
+    for (size_t i = 0; i < s.sites.size(); ++i) {
+      table->slots[i].count.store(0, std::memory_order_relaxed);
+      table->slots[i].ns.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+std::map<std::string, SiteTotals> snapshot() {
+  std::map<std::string, SiteTotals> out;
+  auto& s = detail::state();
+  std::lock_guard<std::mutex> lk(s.mu);
+  for (const auto& site : s.sites) {
+    // Summation over per-thread cells is commutative in uint64, so totals
+    // depend only on what ran, not on thread count or interleaving.
+    uint64_t count = 0;
+    uint64_t ns = 0;
+    for (const auto& table : s.tables) {
+      count += table->slots[site->slot].count.load(std::memory_order_relaxed);
+      ns += table->slots[site->slot].ns.load(std::memory_order_relaxed);
+    }
+    SiteTotals& totals = out[site->name];  // overflow bucket merges here
+    totals.kind = site->kind;
+    totals.count += count;
+    totals.seconds += static_cast<double>(ns) * 1e-9;
+  }
+  return out;
+}
+
+void report_json(std::ostream& os, const ReportOptions& opt) {
+  const auto sites = snapshot();  // std::map: already name-ordered
+  os << "{\n  \"enabled\": " << (enabled() ? "true" : "false")
+     << ",\n  \"sites\": [";
+  bool first = true;
+  for (const auto& [name, totals] : sites) {
+    os << (first ? "" : ",") << "\n    {\"site\": \"" << name
+       << "\", \"kind\": \""
+       << (totals.kind == Kind::kRegion ? "region" : "counter")
+       << "\", \"count\": " << totals.count;
+    if (opt.include_timing && totals.kind == Kind::kRegion) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.9f", totals.seconds);
+      os << ", \"seconds\": " << buf;
+    }
+    os << "}";
+    first = false;
+  }
+  os << "\n  ]\n}\n";
+}
+
+std::string report_json(const ReportOptions& opt) {
+  std::ostringstream os;
+  report_json(os, opt);
+  return os.str();
+}
+
+bool write_report(const std::string& path, const ReportOptions& opt) {
+  std::ofstream os(path);
+  if (!os) return false;
+  report_json(os, opt);
+  return os.good();
+}
+
+}  // namespace ota::stats

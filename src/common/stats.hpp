@@ -1,0 +1,206 @@
+// Runtime telemetry: named region timers and counters, zero-cost when off.
+//
+// A STAT site is a named measurement point in library code:
+//
+//   STAT_REGION("ml.scheduler.round");        // scoped timer: count + seconds
+//   STAT_COUNTER("serve.campaign.retries");   // count += 1
+//   STAT_COUNTER_ADD("par.pool.items", n);    // count += n
+//   STAT_SECONDS("serve.campaign.queue_wait", waited);  // externally timed
+//
+// Disabled (the default), a site costs one relaxed-ish atomic load on
+// `enabled()` plus the zero-initialized per-call-site handle — no allocation,
+// no clock read, no shared write — cheap enough for the hottest production
+// paths, the same discipline as `fault.hpp`'s enable gate.  Enabled, each
+// pass adds into a table owned by the CURRENT thread (plain cachelines no
+// other thread writes), so hot paths never contend on a shared counter; the
+// slots are relaxed atomics only so a concurrent report_json() is a defined
+// read.
+//
+// Determinism contract: report output is a pure function of WHAT ran, never
+// of how it was scheduled.  Per-site totals are sums of per-thread cells
+// (associative + commutative in uint64), and the report orders sites by
+// name — so for a deterministic workload the merged counts are bit-identical
+// for any OTA_THREADS.  Wall-clock seconds are inherently nondeterministic;
+// ReportOptions::include_timing=false omits them, which is what the
+// thread-count-determinism tests compare.
+//
+// Enabling: OTA_STATS=1 turns collection on at startup; any other non-empty
+// non-"0" value additionally registers an at-exit dump of report_json() to
+// that path (e.g. `OTA_STATS=stats.json ./bench_campaign_server`).
+// Programmatic: stats::enable()/disable()/reset(), and ScopedStats for
+// tests.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+
+namespace ota::stats {
+
+/// What a site measures: kRegion sites carry count + accumulated seconds,
+/// kCounter sites carry a count only.
+enum class Kind { kCounter, kRegion };
+
+namespace detail {
+
+/// True iff collection is on (set by enable() or OTA_STATS at static init).
+/// Header-visible extern atomic so enabled() inlines to one load.
+extern std::atomic<bool> g_enabled;
+
+struct Site;  // interned (name, kind, slot id); lives in the registry
+
+/// One per STAT_* call site, function-local `static constinit` so it is
+/// zero-initialized at load time — no static-init guard on the hot path.
+/// The site pointer is interned on the first pass that finds stats enabled.
+struct SiteHandle {
+  std::atomic<Site*> site{nullptr};
+};
+
+/// Returns the handle's interned site, interning `name` on first use.
+/// Thread-safe; the same name always resolves to the same site.
+Site& resolve(SiteHandle& handle, const char* name, Kind kind);
+
+/// count += n into the calling thread's cell for `site`.
+void add_count(const Site& site, uint64_t n);
+
+/// count += 1, nanoseconds += ns into the calling thread's cell.
+void add_timed(const Site& site, uint64_t ns);
+
+}  // namespace detail
+
+/// The subsystem's hot-path gate: false means no site records anything and
+/// the STAT_* macros do no further work.
+inline bool enabled() noexcept {
+  return detail::g_enabled.load(std::memory_order_acquire);
+}
+
+/// Turns collection on/off.  Disabling keeps accumulated data (report_json
+/// still sees it); reset() is the eraser.
+void enable();
+void disable();
+
+/// Zeroes every site's accumulated count/time on every thread table.  Sites
+/// stay interned (a reset site reports count 0, it does not vanish).
+void reset();
+
+/// Merged per-site totals, keyed by site name.
+struct SiteTotals {
+  Kind kind = Kind::kCounter;
+  uint64_t count = 0;    ///< counter sum, or region entry count
+  double seconds = 0.0;  ///< accumulated region time (0 for counters)
+};
+
+/// Snapshot of every interned site (all threads merged, name-ordered).
+std::map<std::string, SiteTotals> snapshot();
+
+struct ReportOptions {
+  /// Include wall-clock "seconds" on region sites.  Set false to get the
+  /// schedule-independent report the determinism gates compare.
+  bool include_timing = true;
+};
+
+/// Emits the merged report as JSON: `{"enabled": ..., "sites": [{"site":
+/// ..., "kind": "counter"|"region", "count": N[, "seconds": S]}, ...]}`,
+/// sites ordered by name so the output is deterministic for any thread
+/// count (modulo timing fields).
+void report_json(std::ostream& os, const ReportOptions& opt = {});
+std::string report_json(const ReportOptions& opt = {});
+
+/// report_json() to a file; returns false (and leaves a partial file at
+/// worst) when the path cannot be opened.
+bool write_report(const std::string& path, const ReportOptions& opt = {});
+
+/// Scoped region timer used by STAT_REGION.  Construction is a no-op when
+/// stats are disabled; the enabled path stamps steady_clock and the
+/// destructor adds the elapsed time into the current thread's cell.  A site
+/// observed enabled at entry still records if stats are disabled before
+/// exit — the record lands in thread-local cells either way.
+class ScopedTimer {
+ public:
+  ScopedTimer(detail::SiteHandle& handle, const char* name) {
+    if (enabled()) {
+      site_ = &detail::resolve(handle, name, Kind::kRegion);
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+  ~ScopedTimer() {
+    if (site_ != nullptr) {
+      const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start_);
+      detail::add_timed(*site_, static_cast<uint64_t>(ns.count()));
+    }
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  const detail::Site* site_ = nullptr;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+/// RAII enable for tests: enables on construction, restores the previous
+/// enabled state and resets all data on destruction so a throwing test
+/// cannot leak telemetry state into the next one.
+class ScopedStats {
+ public:
+  ScopedStats() : was_enabled_(enabled()) {
+    reset();
+    enable();
+  }
+  ~ScopedStats() {
+    if (!was_enabled_) disable();
+    reset();
+  }
+  ScopedStats(const ScopedStats&) = delete;
+  ScopedStats& operator=(const ScopedStats&) = delete;
+
+ private:
+  bool was_enabled_;
+};
+
+}  // namespace ota::stats
+
+#define OTA_STATS_CONCAT_(a, b) a##b
+#define OTA_STATS_CONCAT(a, b) OTA_STATS_CONCAT_(a, b)
+
+/// Scoped region timer: times from this statement to the end of the
+/// enclosing scope under the given site name.
+#define STAT_REGION(site_name) OTA_STAT_REGION_(site_name, __COUNTER__)
+#define OTA_STAT_REGION_(site_name, ctr) OTA_STAT_REGION__(site_name, ctr)
+#define OTA_STAT_REGION__(site_name, ctr)                                     \
+  static constinit ::ota::stats::detail::SiteHandle                           \
+      ota_stats_handle_##ctr{};                                               \
+  const ::ota::stats::ScopedTimer ota_stats_region_##ctr(                     \
+      ota_stats_handle_##ctr, site_name)
+
+/// Adds `n` to a named counter.
+#define STAT_COUNTER_ADD(site_name, n)                                        \
+  do {                                                                        \
+    if (::ota::stats::enabled()) {                                            \
+      static constinit ::ota::stats::detail::SiteHandle ota_stats_handle{};   \
+      ::ota::stats::detail::add_count(                                        \
+          ::ota::stats::detail::resolve(ota_stats_handle, site_name,          \
+                                        ::ota::stats::Kind::kCounter),        \
+          static_cast<uint64_t>(n));                                          \
+    }                                                                         \
+  } while (0)
+
+/// Increments a named counter.
+#define STAT_COUNTER(site_name) STAT_COUNTER_ADD(site_name, 1)
+
+/// Records an externally measured duration (in seconds) against a region
+/// site — for spans whose endpoints live on different threads, e.g. a job's
+/// queue wait measured at dequeue time.
+#define STAT_SECONDS(site_name, seconds)                                      \
+  do {                                                                        \
+    if (::ota::stats::enabled()) {                                            \
+      static constinit ::ota::stats::detail::SiteHandle ota_stats_handle{};   \
+      ::ota::stats::detail::add_timed(                                        \
+          ::ota::stats::detail::resolve(ota_stats_handle, site_name,          \
+                                        ::ota::stats::Kind::kRegion),         \
+          static_cast<uint64_t>((seconds) > 0.0 ? (seconds)*1e9 : 0.0));      \
+    }                                                                         \
+  } while (0)

@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "common/fault.hpp"
+#include "common/stats.hpp"
 
 namespace ota::core {
 
@@ -121,11 +122,15 @@ SizingOutcome SizingCopilot::size(const Specs& target,
       // (absorbed below as a hard miss), one thrown here escapes size() —
       // the path the campaign server's bounded retry policy recovers.
       FAULT_SITE_AS("core.predict.submit", ConvergenceError);
-      const std::string predicted_text =
-          stage2
-              .submit(builder_.encoder_text(request), opt.max_decode_tokens,
-                      cxl)
-              ->wait();
+      std::string predicted_text;
+      {
+        STAT_REGION("core.copilot.stage2_predict");
+        predicted_text =
+            stage2
+                .submit(builder_.encoder_text(request), opt.max_decode_tokens,
+                        cxl)
+                ->wait();
+      }
       out.predicted = builder_.parse_decoder(predicted_text);
       // Stage III: parameters -> widths via the LUTs.
       widths = widths_from_params(topo_, tech_, luts_, out.predicted, widths);
@@ -153,6 +158,7 @@ SizingOutcome SizingCopilot::size(const Specs& target,
     // Stage IV: one SPICE verification.
     spice::EvalResult r;
     try {
+      STAT_REGION("core.copilot.stage4_verify");
       r = spice::evaluate(topo_, tech_, widths, opt.measure);
       ++out.spice_simulations;
     } catch (const ConvergenceError&) {

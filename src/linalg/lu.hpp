@@ -12,6 +12,7 @@
 
 #include "common/error.hpp"
 #include "common/fault.hpp"
+#include "common/stats.hpp"
 #include "linalg/matrix.hpp"
 
 namespace ota::linalg {
@@ -70,6 +71,7 @@ class LuDecomposition {
 
   /// As solve(), writing into `x` (resized to n; must not alias `b`).
   void solve_into(const std::vector<T>& b, std::vector<T>& x) const {
+    STAT_REGION("linalg.lu.solve");
     const size_t n = lu_.rows();
     if (b.size() != n) throw InvalidArgument("LU solve: rhs size mismatch");
     x.resize(n);
@@ -100,6 +102,7 @@ class LuDecomposition {
   /// As the multi-RHS solve(), writing into `x` (resized to n x k; must not
   /// alias `b`).
   void solve_into(const Matrix<T>& b, Matrix<T>& x) const {
+    STAT_REGION("linalg.lu.solve");
     const size_t n = lu_.rows();
     const size_t k = b.cols();
     if (b.rows() != n) throw InvalidArgument("LU solve: rhs rows mismatch");
@@ -127,6 +130,7 @@ class LuDecomposition {
     // ConvergenceError recovery path (gmin ladder, AC sweep, copilot retry)
     // without having to construct a numerically singular system.
     FAULT_SITE_AS("linalg.lu.factor", ConvergenceError);
+    STAT_REGION("linalg.lu.factor");
     const size_t n = lu_.rows();
     if (lu_.cols() != n) throw InvalidArgument("LU: matrix must be square");
     perm_.resize(n);

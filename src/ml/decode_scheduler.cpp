@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "common/fault.hpp"
+#include "common/stats.hpp"
 #include "par/thread_pool.hpp"
 
 namespace ota::ml {
@@ -348,6 +349,8 @@ bool DecodeScheduler::run_round(std::vector<ActiveRequest>& active,
   // fanned out across the pool.  Each worker touches only its own
   // caller-indexed requests, so the per-request token stream is exactly
   // greedy_decode's whatever the interleaving.
+  STAT_REGION("ml.scheduler.round");
+  STAT_COUNTER_ADD("ml.scheduler.batch_sessions", batch);
   pool_.parallel_for(active.size(), [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
       ActiveRequest& a = active[i];

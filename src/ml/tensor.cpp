@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/stats.hpp"
+
 namespace ota::ml {
 
 Tensor Tensor::xavier(int64_t rows, int64_t cols, Rng& rng) {
@@ -192,10 +194,13 @@ void gemm(const Tensor& a, const Tensor& b, Tensor& c) {
   const double* bd = b.data().data();
   double* cd = c.data().data();
   if constexpr (M == Mode::NN) {
+    STAT_REGION("ml.gemm.nn");
     nn_driver(ad, bd, cd, m, k, n);
   } else if constexpr (M == Mode::NT) {
+    STAT_REGION("ml.gemm.nt");
     nt_driver(ad, bd, cd, m, k, n);
   } else {  // TN
+    STAT_REGION("ml.gemm.tn");
     tn_driver(ad, bd, cd, m, k, n);
   }
 }
@@ -213,6 +218,7 @@ void matmul_into(const TensorF& a, const TensorF& b, TensorF& c) {
     c = TensorF(a.rows(), b.cols());
   }
   c.zero();
+  STAT_REGION("ml.gemm.nn");
   nn_driver(a.data().data(), b.data().data(), c.data().data(), a.rows(),
             a.cols(), b.cols());
 }

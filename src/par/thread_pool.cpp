@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "common/stats.hpp"
+
 namespace ota::par {
 
 namespace {
@@ -102,6 +104,10 @@ void ThreadPool::parallel_for_chunked(
     size_t n, size_t max_chunks,
     const std::function<void(size_t, size_t, size_t)>& chunk_fn) {
   if (n == 0) return;
+  // Items (not chunks): the item count is a pure function of the workload,
+  // so the merged counter is thread-count-deterministic; chunk counts are not.
+  STAT_REGION("par.pool.dispatch");
+  STAT_COUNTER_ADD("par.pool.items", n);
   if (workers_.empty() || n == 1 || max_chunks <= 1 || on_worker_thread()) {
     chunk_fn(0, n, 0);
     return;

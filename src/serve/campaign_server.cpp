@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "common/fault.hpp"
+#include "common/stats.hpp"
 #include "par/thread_pool.hpp"
 
 namespace ota::serve {
@@ -318,6 +319,7 @@ void CampaignServer::worker_loop() {
     }
 
     const double queued = seconds_since(job->submitted_at);
+    STAT_SECONDS("serve.campaign.queue_wait", queued);
     // Claim the job.  If Job::cancel() resolved it while queued, only the
     // accounting is left to do.
     bool already_resolved = false;
@@ -365,6 +367,7 @@ void CampaignServer::worker_loop() {
     run_opt.cancel = job->cancel_flag;
     run_opt.deadline = deadline;
     try {
+      STAT_REGION("serve.campaign.run");
       // Injectable worker-side failure, before the copilot even constructs:
       // the serve layer's own permanent fault.
       FAULT_SITE("serve.worker.campaign");
@@ -400,6 +403,7 @@ void CampaignServer::worker_loop() {
           peak_queue_depth_ =
               std::max<uint64_t>(peak_queue_depth_, queue_.size());
         }
+        STAT_COUNTER("serve.campaign.retries");
         cv_.notify_one();
         continue;
       }

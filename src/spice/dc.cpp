@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "common/fault.hpp"
+#include "common/stats.hpp"
 #include "linalg/lu.hpp"
 #include "linalg/matrix.hpp"
 
@@ -146,9 +147,20 @@ DcSolution solve_dc(const Netlist& nl, const device::Technology& tech,
     }
   }
 
+  STAT_REGION("spice.dc.solve");
   int total_iterations = 0;
   int gmin_retries = 0;
   int lu_failures = 0;
+  // Recorded from a destructor so a throwing solve (ladder exhausted,
+  // injected fault) still accounts for the Newton work it burned.
+  struct RecordCounters {
+    const int& iterations;
+    const int& retries;
+    ~RecordCounters() {
+      STAT_COUNTER_ADD("spice.dc.newton_iterations", iterations);
+      STAT_COUNTER_ADD("spice.dc.gmin_retries", retries);
+    }
+  } record{total_iterations, gmin_retries};
   std::vector<double> gmins = opt.gmin_steps;
   if (gmins.empty() || gmins.back() != 0.0) gmins.push_back(0.0);
 
